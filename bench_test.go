@@ -1,0 +1,172 @@
+// Package repro_test holds the testing.B benchmarks that regenerate the
+// paper's tables and figures (see DESIGN.md §3 for the experiment index):
+//
+//	go test -bench=BenchmarkBarrier -benchmem .        # Figure 1
+//	go test -bench=BenchmarkKernel -benchmem .         # Tables 3/4 shape
+//	go test -bench=BenchmarkFM -benchmem .             # Ablation A1
+//
+// Each benchmark reports the dynamic synchronization counts as metrics, so
+// the base-vs-optimized barrier reduction is visible directly in the
+// -bench output. NOTE: on a single-CPU host the elapsed times reflect
+// time-sliced goroutines; the synchronization counts are exact either way.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/linear"
+	"repro/internal/spmdrt"
+	"repro/internal/suite"
+)
+
+// BenchmarkBarrier measures per-episode barrier latency for the three
+// implementations across team sizes (Figure 1: barrier cost vs P).
+func BenchmarkBarrier(b *testing.B) {
+	kinds := []spmdrt.BarrierKind{spmdrt.Central, spmdrt.Tree, spmdrt.Dissemination}
+	for _, kind := range kinds {
+		for _, p := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/P%d", kind, p), func(b *testing.B) {
+				team := spmdrt.NewTeam(p, kind)
+				b.ResetTimer()
+				team.Run(func(w int) {
+					for i := 0; i < b.N; i++ {
+						team.Barrier(w)
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkCounter measures the producer/consumer counter (the paper's
+// cheap synchronization primitive) against the central barrier.
+func BenchmarkCounter(b *testing.B) {
+	for _, p := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			c := spmdrt.NewCounter()
+			team := spmdrt.NewTeam(p, spmdrt.Central)
+			b.ResetTimer()
+			team.Run(func(w int) {
+				for i := 1; i <= b.N; i++ {
+					c.Add(1)
+					c.WaitGE(int64(i) * int64(p))
+				}
+			})
+		})
+	}
+}
+
+// benchKernel runs one suite kernel end-to-end in the given mode and
+// reports dynamic synchronization counts as benchmark metrics (Table 3
+// numerators/denominators, Table 4 elapsed shape).
+func benchKernel(b *testing.B, name string, workers int, optimized bool) {
+	k, err := suite.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := exec.Config{Workers: workers, Params: k.Params}
+	var runner *exec.Runner
+	if optimized {
+		cfg.Mode = exec.SPMD
+		runner, err = c.NewRunner(cfg)
+	} else {
+		runner, err = c.NewBaselineRunner(cfg)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	var barriers, neighbors, counters int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := runner.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		barriers = res.Stats.Barriers
+		neighbors = res.Stats.NeighborWaits
+		counters = res.Stats.CounterIncrs
+	}
+	b.ReportMetric(float64(barriers), "barriers/run")
+	b.ReportMetric(float64(neighbors), "nbr-waits/run")
+	b.ReportMetric(float64(counters), "ctr-incrs/run")
+}
+
+// BenchmarkKernel covers one representative of each communication shape:
+// stencil (jacobi2d), multi-field stencil (shallow), pipeline, broadcast
+// (tred2like), reductions (dotchain), conservative (mg2level).
+func BenchmarkKernel(b *testing.B) {
+	names := []string{"jacobi2d", "shallow", "pipeline", "tred2like", "dotchain", "mg2level"}
+	for _, name := range names {
+		for _, mode := range []string{"base", "opt"} {
+			b.Run(name+"/"+mode, func(b *testing.B) {
+				benchKernel(b, name, 8, mode == "opt")
+			})
+		}
+	}
+}
+
+// BenchmarkCompile measures the analysis pipeline itself (the paper notes
+// its greedy algorithm avoids the all-pairs communication computation of
+// prior work; compile time is the cost side of that claim).
+func BenchmarkCompile(b *testing.B) {
+	for _, name := range []string{"jacobi2d", "shallow", "lulike"} {
+		k, err := suite.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compile(k.Source, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// fmSystem builds a communication-analysis-shaped system: two block-
+// partitioned loop copies, ownership constraints and subscript equality.
+func fmSystem() *linear.System {
+	N, B := linear.Sym("N"), linear.Sym("B")
+	u1, u2 := linear.Proc("u1"), linear.Proc("u2")
+	i1, i2 := linear.Loop("i1"), linear.Loop("i2")
+	s := linear.NewSystem().
+		AddGE(linear.VarExpr(N), linear.NewAffine(1)).
+		AddGE(linear.VarExpr(B), linear.NewAffine(1)).
+		AddRange(i1, linear.NewAffine(2), linear.VarExpr(N).AddConst(-1)).
+		AddRange(i2, linear.NewAffine(2), linear.VarExpr(N).AddConst(-1)).
+		AddRange(i1, linear.VarExpr(u1).AddConst(1), linear.VarExpr(u1).Add(linear.VarExpr(B))).
+		AddRange(i2, linear.VarExpr(u2).AddConst(1), linear.VarExpr(u2).Add(linear.VarExpr(B))).
+		AddGE(linear.VarExpr(u1), linear.NewAffine(0)).
+		AddGE(linear.VarExpr(u2), linear.NewAffine(0)).
+		AddEQ(linear.VarExpr(i1), linear.VarExpr(i2).AddConst(-1)).
+		AddGE(linear.VarExpr(u2).Sub(linear.VarExpr(u1)), linear.VarExpr(B))
+	return s
+}
+
+// BenchmarkFM is ablation A1: Fourier-Motzkin with and without Gaussian
+// equality pre-substitution.
+func BenchmarkFM(b *testing.B) {
+	sys := fmSystem()
+	b.Run("withSubst", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if sys.Solve() == linear.Unknown {
+				b.Fatal("unexpected bailout")
+			}
+		}
+	})
+	b.Run("noSubst", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if sys.SolveNoSubst() == linear.Unknown {
+				b.Fatal("unexpected bailout")
+			}
+		}
+	})
+}

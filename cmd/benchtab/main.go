@@ -1,0 +1,134 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index):
+//
+//	benchtab                  # everything at the standard input, P=8
+//	benchtab -table 3 -p 16   # one table at another worker count
+//	benchtab -fig 1           # barrier latency vs processors
+//	benchtab -ablate repl     # Table 3 with replacement disabled (A2)
+//	benchtab -ablate merge    # Table 3 with merging disabled (A3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/costsim"
+	"repro/internal/suite"
+	"repro/internal/syncopt"
+)
+
+func main() {
+	var (
+		table   = flag.Int("table", 0, "print only table N (1..4)")
+		fig     = flag.Int("fig", 0, "print only figure N (1, 3 or 4)")
+		workers = flag.Int("p", 8, "worker count for dynamic measurements")
+		ablate  = flag.String("ablate", "", "ablation for table 3: repl or merge")
+		gantt   = flag.String("gantt", "", "render a simulated execution gantt for the named kernel (software-DSM costs)")
+	)
+	flag.Parse()
+
+	if *gantt != "" {
+		if err := renderGantt(*gantt, *workers); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	opt := suite.MeasureOptions{Workers: *workers}
+	switch *ablate {
+	case "":
+	case "repl":
+		opt.Sync = syncopt.Options{NoReplacement: true}
+	case "merge":
+		opt.Sync = syncopt.Options{NoMerging: true}
+	default:
+		fail(fmt.Errorf("unknown -ablate %q", *ablate))
+	}
+
+	wantTables := func(n int) bool { return *table == 0 && *fig == 0 || *table == n }
+	wantFig := func(n int) bool { return *table == 0 && *fig == 0 || *fig == n }
+
+	var ms []suite.Metrics
+	needMeasure := wantTables(1) || wantTables(2) || wantTables(3) || wantFig(3)
+	if needMeasure {
+		var err error
+		ms, err = suite.MeasureAll(opt)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *ablate != "" {
+		fmt.Printf("(ablation: %s disabled)\n", *ablate)
+	}
+	if wantTables(1) {
+		suite.Table1(os.Stdout, ms)
+		fmt.Println()
+	}
+	if wantTables(2) {
+		suite.Table2(os.Stdout, ms)
+		fmt.Println()
+	}
+	if wantTables(3) {
+		suite.Table3(os.Stdout, ms)
+		fmt.Println()
+	}
+	if wantTables(4) {
+		err := suite.Table4(os.Stdout,
+			[]string{"jacobi2d", "shallow", "pipeline", "dotchain"},
+			[]int{1, 2, 4, 8})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+	if wantFig(4) {
+		err := suite.Figure4(os.Stdout,
+			[]string{"jacobi2d", "shallow", "pipeline", "tred2like", "dotchain"},
+			[]int{1, 2, 4, 8, 16, 32})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+	if wantFig(1) {
+		suite.Figure1(os.Stdout, []int{1, 2, 4, 8, 16}, 2000)
+		fmt.Println()
+	}
+	if wantFig(3) {
+		suite.Figure3(os.Stdout, ms)
+	}
+}
+
+// renderGantt shows base vs optimized simulated timelines for one kernel,
+// making the pipelining wave of §3.3 visible.
+func renderGantt(name string, workers int) error {
+	k, err := suite.Get(name)
+	if err != nil {
+		return err
+	}
+	c, err := core.Compile(k.Source, core.Options{})
+	if err != nil {
+		return err
+	}
+	costs := costsim.SoftwareDSM()
+	fmt.Printf("%s, P=%d, software-DSM costs\n\nfork-join baseline:\n", name, workers)
+	res, tr, err := costsim.SimulateTrace(c.Baseline, c.Plan, k.Params, workers, costsim.ForkJoin, costs)
+	if err != nil {
+		return err
+	}
+	costsim.RenderGantt(os.Stdout, res, tr, workers, 100)
+	fmt.Printf("\noptimized SPMD:\n")
+	res, tr, err = costsim.SimulateTrace(c.Schedule, c.Plan, k.Params, workers, costsim.SPMD, costs)
+	if err != nil {
+		return err
+	}
+	costsim.RenderGantt(os.Stdout, res, tr, workers, 100)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Command spmdrun executes a DSL program (file or named suite kernel) on
+// the SPMD runtime, in baseline fork-join or optimized form, printing the
+// dynamic synchronization counts the paper's tables are built from and
+// verifying the parallel result against the sequential interpreter.
+//
+// Usage:
+//
+//	spmdrun -kernel jacobi2d -p 8
+//	spmdrun -p 4 -mode base -param N=256 -param T=10 prog.dsl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/spmdrt"
+	"repro/internal/suite"
+)
+
+type paramList map[string]int64
+
+func (p paramList) String() string { return fmt.Sprint(map[string]int64(p)) }
+
+func (p paramList) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want NAME=VALUE, got %q", s)
+	}
+	v, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return err
+	}
+	p[name] = v
+	return nil
+}
+
+func main() {
+	params := paramList{}
+	var (
+		kernel  = flag.String("kernel", "", "run a named suite kernel")
+		workers = flag.Int("p", 8, "number of workers")
+		mode    = flag.String("mode", "opt", "base (fork-join) or opt (SPMD)")
+		barrier = flag.String("barrier", "central", "barrier implementation: central, tree, dissemination")
+		verify  = flag.Bool("verify", true, "compare against the sequential interpreter")
+		det     = flag.Bool("det", false, "deterministic (rank-ordered) reduction merges")
+	)
+	flag.Var(params, "param", "program parameter NAME=VALUE (repeatable)")
+	flag.Parse()
+
+	var src string
+	if *kernel != "" {
+		k, err := suite.Get(*kernel)
+		if err != nil {
+			fail(err)
+		}
+		src = k.Source
+		for n, v := range k.Params {
+			if _, set := params[n]; !set {
+				params[n] = v
+			}
+		}
+	} else {
+		if len(flag.Args()) != 1 {
+			fail(fmt.Errorf("usage: spmdrun [flags] <file.dsl> (or -kernel NAME)"))
+		}
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		src = string(b)
+	}
+
+	var bk spmdrt.BarrierKind
+	switch *barrier {
+	case "central":
+		bk = spmdrt.Central
+	case "tree":
+		bk = spmdrt.Tree
+	case "dissemination":
+		bk = spmdrt.Dissemination
+	default:
+		fail(fmt.Errorf("unknown barrier %q", *barrier))
+	}
+
+	c, err := core.Compile(src, core.Options{})
+	if err != nil {
+		fail(err)
+	}
+	cfg := exec.Config{Workers: *workers, Barrier: bk, Params: params,
+		DeterministicReductions: *det}
+	var runner *exec.Runner
+	switch *mode {
+	case "base":
+		runner, err = c.NewBaselineRunner(cfg)
+	case "opt":
+		cfg.Mode = exec.SPMD
+		runner, err = c.NewRunner(cfg)
+	default:
+		err = fmt.Errorf("unknown mode %q (want base or opt)", *mode)
+	}
+	if err != nil {
+		fail(err)
+	}
+	res, err := runner.Run()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("program %s  mode=%s  P=%d  barrier=%s\n", c.Prog.Name, *mode, *workers, bk)
+	fmt.Printf("elapsed:  %s\n", res.Elapsed)
+	fmt.Printf("sync:     %s\n", res.Stats)
+	fmt.Printf("checksum: %.10g\n", res.State.Checksum())
+
+	if *verify {
+		ref, err := c.RunSequential(params)
+		if err != nil {
+			fail(err)
+		}
+		d := exec.ComparableDiff(ref, res.State, c.Prog)
+		fmt.Printf("verify:   max |parallel - sequential| = %g\n", d)
+		if d > 1e-9 {
+			fail(fmt.Errorf("parallel execution diverged from sequential semantics"))
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "spmdrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Package comm implements the paper's communication analysis (§3.2.1):
+// given two statement groups of an SPMD region and the computation
+// partitions assigned by internal/decomp, it decides whether inter-
+// processor data movement can occur between them, and if so whether the
+// required synchronization can be cheaper than a barrier:
+//
+//   - ClassNone     — producers and consumers always coincide; no sync.
+//   - ClassNeighbor — data only crosses adjacent block boundaries;
+//     point-to-point neighbor synchronization suffices.
+//   - ClassCounter  — at most one producing processor per sync instance
+//     (broadcast); a producer/consumer counter suffices (§2.2 "counters").
+//   - ClassBarrier  — arbitrary communication; keep the barrier.
+//
+// Accesses and partitions are encoded as one system of symbolic linear
+// inequalities per access pair, in the paper's variable scan order
+// (symbolics, processors, loop indices, array indices), and decided with
+// Fourier-Motzkin elimination. Processor identity uses the block-origin
+// linearization described in DESIGN.md.
+package comm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/decomp"
+	"repro/internal/deps"
+	"repro/internal/ir"
+	"repro/internal/region"
+)
+
+// Class is the synchronization class required between two groups.
+type Class int
+
+const (
+	// ClassNone: no interprocessor communication.
+	ClassNone Class = iota
+	// ClassNeighbor: communication only between adjacent blocks.
+	ClassNeighbor
+	// ClassCounter: at most one producing processor per instance.
+	ClassCounter
+	// ClassBarrier: general communication.
+	ClassBarrier
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassNeighbor:
+		return "neighbor"
+	case ClassCounter:
+		return "counter"
+	case ClassBarrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Verdict is the combined result over all access pairs between two groups.
+type Verdict struct {
+	Class Class
+	// WaitLower/WaitUpper: for ClassNeighbor, whether a worker must wait
+	// for its lower (rank-1) / upper (rank+1) neighbor.
+	WaitLower, WaitUpper bool
+	// Exact is false when any conservative assumption (non-affine
+	// subscript, solver bailout, incomparable spaces) forced the class.
+	Exact bool
+	// Pairs holds human-readable findings for diagnostics.
+	Pairs []string
+}
+
+func (v Verdict) String() string {
+	s := v.Class.String()
+	if v.Class == ClassNeighbor {
+		dirs := []string{}
+		if v.WaitLower {
+			dirs = append(dirs, "lower")
+		}
+		if v.WaitUpper {
+			dirs = append(dirs, "upper")
+		}
+		s += "(" + strings.Join(dirs, ",") + ")"
+	}
+	return s
+}
+
+// Analyzer bundles the dependence context, the computation partition plan
+// and the region classification.
+type Analyzer struct {
+	Ctx   *deps.Context
+	Plan  *decomp.Plan
+	Info  *region.Info
+	Modes map[ir.Stmt]region.Mode
+}
+
+// New builds an analyzer.
+func New(ctx *deps.Context, plan *decomp.Plan, info *region.Info) *Analyzer {
+	return &Analyzer{Ctx: ctx, Plan: plan, Info: info, Modes: info.Modes}
+}
+
+// Between classifies the synchronization needed between group X (executed
+// first) and group Y, at the nesting level of the enclosing sequential
+// loops `outer` (outermost first). With carrier == nil the test is
+// loop-independent (same iteration of every outer loop); otherwise it is
+// carried by `carrier` (X in an earlier carrier iteration than Y), and
+// `outer` must list the loops enclosing the carrier.
+func (a *Analyzer) Between(X, Y []ir.Stmt, outer []*ir.Loop, carrier *ir.Loop) Verdict {
+	accX := a.collectGroup(X, outer, carrier)
+	accY := a.collectGroup(Y, outer, carrier)
+	out := Verdict{Class: ClassNone, Exact: true}
+	for _, x := range accX {
+		for _, y := range accY {
+			if x.name != y.name || (!x.write && !y.write) {
+				continue
+			}
+			pv := a.classifyPair(x, y, outer, carrier)
+			out = combine(out, pv)
+			if out.Class == ClassBarrier && !out.Exact {
+				// Cannot get worse; stop early.
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func combine(a, b Verdict) Verdict {
+	out := Verdict{
+		Exact:     a.Exact && b.Exact,
+		WaitLower: a.WaitLower || b.WaitLower,
+		WaitUpper: a.WaitUpper || b.WaitUpper,
+		Pairs:     append(append([]string(nil), a.Pairs...), b.Pairs...),
+	}
+	if b.Class > a.Class {
+		out.Class = b.Class
+	} else {
+		out.Class = a.Class
+	}
+	return out
+}

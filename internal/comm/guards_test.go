@@ -1,0 +1,143 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// TestGuardedProducerCounter reproduces the paper's running example: a
+// parallel loop whose write is guarded by `if i == k` only executes on the
+// owner of coordinate k — a single producer per iteration, so the
+// following consumers synchronize with a counter instead of a barrier.
+func TestGuardedProducerCounter(t *testing.T) {
+	prog, a := setup(t, `
+program p
+param N
+real A(N, N), D(N)
+do k = 2, N
+  parallel do i = 1, N
+    if i == k then
+      D(i) = A(1, k - 1) * 0.5
+    end if
+  end do
+  parallel do i = 1, N
+    A(i, k) = A(i, k) + D(k)
+  end do
+end do
+end
+`)
+	kloop := prog.Body[0].(*ir.Loop)
+	g1 := []ir.Stmt{kloop.Body[0]}
+	g2 := []ir.Stmt{kloop.Body[1]}
+	v := a.Between(g1, g2, []*ir.Loop{kloop}, nil)
+	if v.Class != ClassCounter {
+		t.Errorf("guarded single producer: %v, want counter\npairs: %v", v, v.Pairs)
+	}
+}
+
+// TestGuardRangeNoComm: a guard restricting the write range to the lower
+// half and a read restricted to the upper half cannot conflict; the affine
+// guard constraints must prove independence.
+func TestGuardRangeNoComm(t *testing.T) {
+	prog, a := setup(t, `
+program p
+param N
+real A(2 * N), B(2 * N)
+parallel do i = 1, 2 * N
+  if i <= N then
+    A(i) = 1.0 * i
+  end if
+end do
+parallel do i = 1, 2 * N
+  if i > N then
+    B(i) = A(i) + 1.0
+  end if
+end do
+end
+`)
+	v := a.Between(stmt(prog, 0), stmt(prog, 1), nil, nil)
+	if v.Class != ClassNone {
+		t.Errorf("disjoint guarded ranges: %v, want none\npairs: %v", v, v.Pairs)
+	}
+}
+
+// TestElseBranchNegation: the else branch contributes the negated guard.
+func TestElseBranchNegation(t *testing.T) {
+	prog, a := setup(t, `
+program p
+param N
+real A(2 * N), B(2 * N)
+parallel do i = 1, 2 * N
+  if i <= N then
+    B(i) = 1.0
+  else
+    A(i) = 1.0 * i
+  end if
+end do
+parallel do i = 1, 2 * N
+  if i <= N then
+    B(i) = A(i) + 1.0
+  end if
+end do
+end
+`)
+	// Writes to A happen only for i > N (else branch); reads of A only
+	// for i <= N: no flow on A. B is written at i and rewritten at i:
+	// owner-local. So: no communication at all.
+	v := a.Between(stmt(prog, 0), stmt(prog, 1), nil, nil)
+	if v.Class != ClassNone {
+		t.Errorf("else-negated guard: %v, want none\npairs: %v", v, v.Pairs)
+	}
+}
+
+// TestNonAffineGuardConservative: mod guards cannot be encoded; the
+// analysis must stay conservative (and sound).
+func TestNonAffineGuardConservative(t *testing.T) {
+	prog, a := setup(t, `
+program p
+param N
+real A(N)
+parallel do i = 2, N - 1
+  if mod(i, 2) == 0 then
+    A(i) = 0.5 * (A(i - 1) + A(i + 1))
+  end if
+end do
+parallel do i = 2, N - 1
+  if mod(i, 2) == 1 then
+    A(i) = 0.5 * (A(i - 1) + A(i + 1))
+  end if
+end do
+end
+`)
+	v := a.Between(stmt(prog, 0), stmt(prog, 1), nil, nil)
+	// In truth only neighbor exchange happens; without mod reasoning
+	// neighbor is also the conservative answer here (stencil geometry).
+	if v.Class == ClassNone {
+		t.Errorf("mod guard must not prove independence: %v", v)
+	}
+}
+
+// TestConjunctionGuards: both conjuncts of an .and. guard apply.
+func TestConjunctionGuards(t *testing.T) {
+	prog, a := setup(t, `
+program p
+param N
+real A(3 * N), B(3 * N)
+parallel do i = 1, 3 * N
+  if i > N .and. i <= 2 * N then
+    A(i) = 1.0 * i
+  end if
+end do
+parallel do i = 1, 3 * N
+  if i > 2 * N then
+    B(i) = A(i) * 2.0
+  end if
+end do
+end
+`)
+	v := a.Between(stmt(prog, 0), stmt(prog, 1), nil, nil)
+	if v.Class != ClassNone {
+		t.Errorf("conjunction guard ranges are disjoint: %v, want none\npairs: %v", v, v.Pairs)
+	}
+}

@@ -1,0 +1,102 @@
+// Package core is the library facade: it runs the full compilation
+// pipeline of the paper — parse, dependence analysis, parallelization,
+// computation partitioning, SPMD region construction, communication
+// analysis and greedy barrier elimination — and hands back everything
+// needed to execute or inspect the result.
+//
+//	c, err := core.Compile(src, core.Options{})
+//	runner, err := c.NewRunner(exec.Config{Workers: 8, Mode: exec.SPMD})
+//	res, err := runner.Run()
+//
+// Compile produces both the optimized schedule and the fork-join baseline
+// schedule so callers can reproduce the paper's base-vs-optimized
+// comparisons from a single compilation.
+package core
+
+import (
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/deps"
+	"repro/internal/exec"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/parallel"
+	"repro/internal/parser"
+	"repro/internal/region"
+	"repro/internal/syncopt"
+)
+
+// Options configure the pipeline.
+type Options struct {
+	// Decomp selects the data/computation distribution (default Block).
+	Decomp decomp.Kind
+	// Sync are the synchronization-optimizer options (ablation knobs).
+	Sync syncopt.Options
+	// MinParam is the assumed lower bound of every symbolic parameter
+	// (default 1). Larger values can sharpen the analysis.
+	MinParam int64
+}
+
+// Compiled is the result of running the pipeline on one program.
+type Compiled struct {
+	Prog *ir.Program
+	// Parallelized reports what the parallelizer did.
+	Parallelized *parallel.Result
+	// Plan is the computation partition of every parallel loop.
+	Plan *decomp.Plan
+	// Analyzer exposes the communication analysis for inspection.
+	Analyzer *comm.Analyzer
+	// Schedule is the optimized synchronization schedule.
+	Schedule *syncopt.Schedule
+	// Baseline is the fork-join schedule (one barrier per parallel
+	// loop), for base-vs-optimized comparisons.
+	Baseline *syncopt.Schedule
+}
+
+// Compile parses DSL source and runs the full pipeline.
+func Compile(src string, opt Options) (*Compiled, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileProgram(prog, opt), nil
+}
+
+// CompileProgram runs the pipeline on an already-built program. The
+// program is mutated in place (parallel markings, privatization).
+func CompileProgram(prog *ir.Program, opt Options) *Compiled {
+	minParam := opt.MinParam
+	if minParam <= 0 {
+		minParam = 1
+	}
+	ctx := deps.NewContext(prog, minParam)
+	par := parallel.Parallelize(ctx)
+	plan := decomp.Build(prog, opt.Decomp)
+	info := region.Classify(prog, plan.Wavefront)
+	an := comm.New(ctx, plan, info)
+	return &Compiled{
+		Prog:         prog,
+		Parallelized: par,
+		Plan:         plan,
+		Analyzer:     an,
+		Schedule:     syncopt.Build(an, opt.Sync),
+		Baseline:     syncopt.Build(an, syncopt.Options{Baseline: true}),
+	}
+}
+
+// NewRunner builds a parallel runner for the optimized schedule.
+func (c *Compiled) NewRunner(cfg exec.Config) (*exec.Runner, error) {
+	return exec.NewRunner(c.Prog, c.Schedule, c.Plan, cfg)
+}
+
+// NewBaselineRunner builds a fork-join runner for the baseline schedule.
+func (c *Compiled) NewBaselineRunner(cfg exec.Config) (*exec.Runner, error) {
+	cfg.Mode = exec.ForkJoin
+	return exec.NewRunner(c.Prog, c.Baseline, c.Plan, cfg)
+}
+
+// RunSequential executes the program with the reference interpreter on a
+// fresh deterministically-seeded state.
+func (c *Compiled) RunSequential(params map[string]int64) (*interp.State, error) {
+	return interp.Run(c.Prog, params)
+}

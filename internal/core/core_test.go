@@ -1,0 +1,249 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/exec"
+	"repro/internal/syncopt"
+)
+
+const src = `
+program facade
+param N, T
+real A(N), B(N), s
+do k = 1, T
+  do i = 2, N - 1
+    B(i) = 0.5 * (A(i - 1) + A(i + 1))
+  end do
+  do i = 2, N - 1
+    A(i) = B(i)
+  end do
+end do
+do i = 1, N
+  s = s + A(i)
+end do
+end
+`
+
+func TestCompileProducesBothSchedules(t *testing.T) {
+	c, err := core.Compile(src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Schedule == nil || c.Baseline == nil || c.Plan == nil || c.Analyzer == nil {
+		t.Fatal("incomplete Compiled")
+	}
+	if c.Baseline.Static().Barriers <= c.Schedule.Static().Barriers {
+		t.Errorf("baseline should have more static barriers: base %+v opt %+v",
+			c.Baseline.Static(), c.Schedule.Static())
+	}
+	if len(c.Parallelized.Parallel) != 3 {
+		t.Errorf("parallel loops = %d, want 3", len(c.Parallelized.Parallel))
+	}
+}
+
+func TestCompileSyntaxError(t *testing.T) {
+	if _, err := core.Compile("program x\nbogus!!!\nend\n", core.Options{}); err == nil {
+		t.Error("syntax error not reported")
+	}
+}
+
+func TestCompileSemanticError(t *testing.T) {
+	_, err := core.Compile("program x\nreal s\ns = q\nend\n", core.Options{})
+	if err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOptionsPassThrough(t *testing.T) {
+	cyc, err := core.Compile(src, core.Options{Decomp: decomp.Cyclic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc.Plan.Kind != decomp.Cyclic {
+		t.Error("Decomp option ignored")
+	}
+	norep, err := core.Compile(src, core.Options{Sync: syncopt.Options{NoReplacement: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := norep.Schedule.Static()
+	if st.Neighbors != 0 || st.Counters != 0 {
+		t.Errorf("NoReplacement ignored: %+v", st)
+	}
+}
+
+func TestMinParamSharpensAnalysis(t *testing.T) {
+	// With N possibly 1, loop 2..N-1 may be empty but analysis stays
+	// sound either way; just confirm MinParam plumbs through without
+	// breaking compilation and runners still verify.
+	c, err := core.Compile(src, core.Options{MinParam: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]int64{"N": 32, "T": 3}
+	ref, err := c.RunSequential(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.NewRunner(exec.Config{Workers: 3, Params: params, Mode: exec.SPMD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := exec.ComparableDiff(ref, res.State, c.Prog); d > 1e-9 {
+		t.Errorf("diverged by %g", d)
+	}
+}
+
+func TestBaselineRunnerForcesForkJoin(t *testing.T) {
+	c, err := core.Compile(src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.NewBaselineRunner(exec.Config{Workers: 2, Params: map[string]int64{"N": 16, "T": 1}, Mode: exec.SPMD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Dispatches == 0 {
+		t.Error("baseline runner did not run in fork-join mode (no dispatches)")
+	}
+}
+
+func TestScheduleVerifies(t *testing.T) {
+	c, err := core.Compile(src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := syncopt.Verify(c.Analyzer, c.Schedule); len(errs) != 0 {
+		t.Errorf("verification: %v", errs)
+	}
+}
+
+func TestWorkersExceedingExtent(t *testing.T) {
+	// More workers than iterations: idle workers must not deadlock the
+	// counters/neighbor syncs, and results stay exact.
+	c, err := core.Compile(src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]int64{"N": 5, "T": 2}
+	ref, err := c.RunSequential(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{7, 16} {
+		r, err := c.NewRunner(exec.Config{Workers: workers, Params: params, Mode: exec.SPMD})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatalf("P=%d: %v", workers, err)
+		}
+		if d := exec.ComparableDiff(ref, res.State, c.Prog); d > 1e-9 {
+			t.Errorf("P=%d diverged by %g", workers, d)
+		}
+	}
+}
+
+func TestAnalyzerExposed(t *testing.T) {
+	c, err := core.Compile(src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kloop := c.Prog.Body[0]
+	_ = kloop
+	// Spot-check: the analyzer answers Between queries post-compile.
+	v := c.Analyzer.Between(c.Prog.Body[:1], c.Prog.Body[1:2], nil, nil)
+	if v.Class == comm.ClassNone && len(v.Pairs) != 0 {
+		t.Errorf("inconsistent verdict: %v", v)
+	}
+}
+
+// TestInliningMatchesFlatProgram: the paper says interprocedural analysis
+// enlarges SPMD regions; with front-end inlining, a modularized program
+// must compile to exactly the same static schedule and produce the same
+// results as its hand-flattened form.
+func TestInliningMatchesFlatProgram(t *testing.T) {
+	modular := `
+program m
+param N, T
+real A(N), B(N)
+sub smooth(lo, hi)
+  do i = lo, hi
+    B(i) = 0.5 * (A(i - 1) + A(i + 1))
+  end do
+end sub
+sub copyback(lo, hi)
+  do i = lo, hi
+    A(i) = B(i)
+  end do
+end sub
+do k = 1, T
+  call smooth(2, N - 1)
+  call copyback(2, N - 1)
+end do
+end
+`
+	flat := `
+program m
+param N, T
+real A(N), B(N)
+do k = 1, T
+  do i = 2, N - 1
+    B(i) = 0.5 * (A(i - 1) + A(i + 1))
+  end do
+  do i = 2, N - 1
+    A(i) = B(i)
+  end do
+end do
+end
+`
+	cm, err := core.Compile(modular, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := core.Compile(flat, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Schedule.Static() != cf.Schedule.Static() {
+		t.Errorf("static schedules differ: modular %+v, flat %+v\nmodular schedule:\n%s",
+			cm.Schedule.Static(), cf.Schedule.Static(), cm.Schedule.Dump())
+	}
+	params := map[string]int64{"N": 40, "T": 4}
+	rm, err := cm.NewRunner(exec.Config{Workers: 4, Params: params, Mode: exec.SPMD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resm, err := rm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := cf.NewRunner(exec.Config{Workers: 4, Params: params, Mode: exec.SPMD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resf, err := rf.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := resm.State.MaxAbsDiff(resf.State); d != 0 {
+		t.Errorf("modular vs flat results differ by %g", d)
+	}
+	if resm.Stats.Barriers != resf.Stats.Barriers {
+		t.Errorf("dynamic barriers differ: %d vs %d", resm.Stats.Barriers, resf.Stats.Barriers)
+	}
+}

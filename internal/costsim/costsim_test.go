@@ -1,0 +1,254 @@
+package costsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/costsim"
+	"repro/internal/exec"
+	"repro/internal/suite"
+)
+
+func compile(t *testing.T, name string) (*core.Compiled, map[string]int64) {
+	t.Helper()
+	k, err := suite.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, k.Params
+}
+
+// TestSyncCountsMatchExecutor cross-validates the simulator against the
+// real runtime: for the same schedule and P, the simulated numbers of
+// barriers, counter increments and dispatches must equal the dynamic
+// counts the executor records.
+func TestSyncCountsMatchExecutor(t *testing.T) {
+	for _, name := range []string{"jacobi1d", "tred2like", "dotchain", "mg2level", "lulike"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c, params := compile(t, name)
+			const P = 4
+			sim, err := costsim.Simulate(c.Schedule, c.Plan, params, P, costsim.SPMD, costsim.SharedMemory())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := c.NewRunner(exec.Config{Workers: P, Params: params, Mode: exec.SPMD})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sim.Barriers != res.Stats.Barriers {
+				t.Errorf("barriers: sim %d, exec %d", sim.Barriers, res.Stats.Barriers)
+			}
+			if sim.CounterIncrs != res.Stats.CounterIncrs {
+				t.Errorf("counter incrs: sim %d, exec %d", sim.CounterIncrs, res.Stats.CounterIncrs)
+			}
+
+			bsim, err := costsim.Simulate(c.Baseline, c.Plan, params, P, costsim.ForkJoin, costsim.SharedMemory())
+			if err != nil {
+				t.Fatal(err)
+			}
+			br, err := c.NewBaselineRunner(exec.Config{Workers: P, Params: params})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bres, err := br.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bsim.Barriers != bres.Stats.Barriers {
+				t.Errorf("baseline barriers: sim %d, exec %d", bsim.Barriers, bres.Stats.Barriers)
+			}
+			if bsim.Dispatches != bres.Stats.Dispatches {
+				t.Errorf("dispatches: sim %d, exec %d", bsim.Dispatches, bres.Stats.Dispatches)
+			}
+		})
+	}
+}
+
+// TestWorkConservation: total computed work must not depend on P for SPMD
+// (slices exactly tile the iteration space).
+func TestWorkConservation(t *testing.T) {
+	c, params := compile(t, "jacobi2d")
+	var ref float64
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		r, err := costsim.Simulate(c.Schedule, c.Plan, params, p, costsim.SPMD, costsim.SharedMemory())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == 1 {
+			ref = r.Work
+			continue
+		}
+		if r.Work != ref {
+			t.Errorf("P=%d: work %v != P=1 work %v", p, r.Work, ref)
+		}
+	}
+}
+
+// TestOptimizedBeatsBaseline: under 1995-style costs the optimized
+// schedule must predict a shorter makespan than fork-join for
+// communication-light kernels at P=8, and the gap must widen under
+// software-DSM costs — the paper's central performance claim.
+func TestOptimizedBeatsBaseline(t *testing.T) {
+	for _, name := range []string{"jacobi1d", "shallow", "tred2like", "pipeline"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c, params := compile(t, name)
+			const P = 8
+			shm := costsim.SharedMemory()
+			dsm := costsim.SoftwareDSM()
+			base, err := costsim.Simulate(c.Baseline, c.Plan, params, P, costsim.ForkJoin, shm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := costsim.Simulate(c.Schedule, c.Plan, params, P, costsim.SPMD, shm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt.Makespan >= base.Makespan {
+				t.Errorf("shared-memory: optimized %v >= baseline %v", opt.Makespan, base.Makespan)
+			}
+			baseDSM, err := costsim.Simulate(c.Baseline, c.Plan, params, P, costsim.ForkJoin, dsm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			optDSM, err := costsim.Simulate(c.Schedule, c.Plan, params, P, costsim.SPMD, dsm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gainSHM := base.Makespan / opt.Makespan
+			gainDSM := baseDSM.Makespan / optDSM.Makespan
+			if gainDSM <= gainSHM {
+				t.Errorf("DSM gain %.3f should exceed shared-memory gain %.3f", gainDSM, gainSHM)
+			}
+		})
+	}
+}
+
+// TestPipelineStagger: the pipeline kernel's loop-bottom neighbor sync
+// must let the simulated SPMD version dramatically outrun a barrier-per-
+// step baseline under DSM costs.
+func TestPipelineStagger(t *testing.T) {
+	c, params := compile(t, "pipeline")
+	const P = 16
+	base, err := costsim.Simulate(c.Baseline, c.Plan, params, P, costsim.ForkJoin, costsim.SoftwareDSM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := costsim.Simulate(c.Schedule, c.Plan, params, P, costsim.SPMD, costsim.SoftwareDSM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Makespan*2 > base.Makespan {
+		t.Errorf("pipelining gain too small: base %v, opt %v", base.Makespan, opt.Makespan)
+	}
+}
+
+// TestSpeedupGrowsWithP for an embarrassingly stencil kernel under the
+// optimized schedule.
+func TestSpeedupGrowsWithP(t *testing.T) {
+	c, params := compile(t, "jacobi2d")
+	prev := 0.0
+	for _, p := range []int{1, 2, 4, 8} {
+		r, err := costsim.Simulate(c.Schedule, c.Plan, params, p, costsim.SPMD, costsim.SharedMemory())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := r.Speedup()
+		if sp < prev {
+			t.Errorf("P=%d: speedup %v dropped below %v", p, sp, prev)
+		}
+		prev = sp
+	}
+	if prev < 4 {
+		t.Errorf("P=8 speedup %v too low for a stencil", prev)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	c, params := compile(t, "jacobi1d")
+	if _, err := costsim.Simulate(c.Schedule, c.Plan, params, 0, costsim.SPMD, costsim.SharedMemory()); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := costsim.Simulate(c.Schedule, c.Plan, nil, 4, costsim.SPMD, costsim.SharedMemory()); err == nil {
+		t.Error("missing params accepted")
+	}
+}
+
+// TestTraceStagger: a one-directional sweep (testdata/sweep.dsl shape)
+// must show the pipelining wave: worker w's first compute segment starts
+// strictly later than worker w-1's as the sweep fills.
+func TestTraceStagger(t *testing.T) {
+	// In-place recurrence on i makes the inner loop serial; the
+	// partitioner turns it into a wavefront relay, and the enclosing k
+	// loop pipelines it (paper §3.3).
+	src := `
+program erleb
+param N, M
+real A(N, M)
+do k = 2, M
+  do i = 2, N
+    A(i, k) = 0.5 * (A(i - 1, k) + A(i, k - 1))
+  end do
+end do
+end
+`
+	c, err := core.Compile(src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const P = 6
+	params := map[string]int64{"N": 240, "M": 40}
+	res, trace, err := costsim.SimulateTrace(c.Schedule, c.Plan, params, P, costsim.SPMD, costsim.SoftwareDSM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Barriers != 0 {
+		t.Fatalf("sweep should be barrier-free, got %d barriers", res.Barriers)
+	}
+	// Second compute segment per worker (first sweep step after the
+	// pipeline is primed) must start monotonically later with rank.
+	second := make([]float64, P)
+	seen := make([]int, P)
+	for _, seg := range trace {
+		if seg.Kind == costsim.SegCompute && seen[seg.Worker] < 2 {
+			seen[seg.Worker]++
+			if seen[seg.Worker] == 2 {
+				second[seg.Worker] = seg.Start
+			}
+		}
+	}
+	for w := 1; w < P; w++ {
+		if second[w] <= second[w-1] {
+			t.Errorf("no stagger: worker %d second compute at %v <= worker %d at %v",
+				w, second[w], w-1, second[w-1])
+		}
+	}
+}
+
+// TestRenderGanttOutput sanity-checks the renderer.
+func TestRenderGanttOutput(t *testing.T) {
+	c, params := compile(t, "pipeline")
+	res, trace, err := costsim.SimulateTrace(c.Schedule, c.Plan, params, 4, costsim.SPMD, costsim.SharedMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	costsim.RenderGantt(&sb, res, trace, 4, 60)
+	out := sb.String()
+	if !strings.Contains(out, "w0 ") || !strings.Contains(out, "#") {
+		t.Errorf("gantt output:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 5 {
+		t.Errorf("expected header + 4 rows:\n%s", out)
+	}
+}

@@ -1,0 +1,309 @@
+// Package decomp assigns computation partitions to parallel loops.
+//
+// The paper assumes "the compiler partitions computation using global
+// automatic data decomposition techniques" (§2.2) with owner-computes:
+// each parallel loop's iterations are assigned to the processor owning the
+// array element written by that iteration. We derive, for every parallel
+// loop, a Placement mapping iteration i to an owning coordinate x = i +
+// offset within a coordinate Space (an array dimension's 1..extent range,
+// or the loop's own iteration space as a fallback).
+//
+// Block distributions are linearized with the block-origin substitution
+// described in DESIGN.md: processor identity is the block origin u = p*B,
+// ownership of coordinate x is u+1 <= x <= u+B, and distinct processors
+// satisfy |u1-u2| >= B. Two placements are comparable (can be proven to be
+// the same processor) exactly when their Spaces have the same extent
+// expression, since those share a block size.
+package decomp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/linear"
+)
+
+// Kind selects the distribution function.
+type Kind int
+
+const (
+	// Block distributes contiguous chunks of ceil(extent/P).
+	Block Kind = iota
+	// Cyclic deals coordinates round-robin.
+	Cyclic
+)
+
+func (k Kind) String() string {
+	if k == Cyclic {
+		return "cyclic"
+	}
+	return "block"
+}
+
+// Space is a 1-based coordinate range 1..Extent that processors partition.
+// Extent is affine over symbolic parameters and (for placements inside
+// triangular nests) enclosing sequential loop indices.
+type Space struct {
+	Extent linear.Affine
+	// Key canonically identifies the space; placements with equal keys
+	// share a block size and are comparable.
+	Key string
+}
+
+// NewSpace builds a space from its extent.
+func NewSpace(extent linear.Affine) Space {
+	return Space{Extent: extent, Key: extent.String()}
+}
+
+// Placement is the computation partition of one parallel loop.
+type Placement struct {
+	Loop *ir.Loop
+	Kind Kind
+	// Space is the partitioned coordinate range.
+	Space Space
+	// Offset maps the loop index to its owning coordinate:
+	// x = i + Offset. Affine over symbolics and enclosing loop indices
+	// (as linear.Loop vars named by their source index).
+	Offset linear.Affine
+	// Array/Dim record the owner-computes provenance; Array is "" for a
+	// by-iteration fallback placement.
+	Array string
+	Dim   int
+	// OuterIndices lists enclosing sequential loop indices appearing in
+	// Offset or Space.Extent; such placements vary across outer
+	// iterations.
+	OuterIndices []string
+}
+
+// ByIteration reports whether the placement fell back to partitioning the
+// loop's own iteration space.
+func (pl *Placement) ByIteration() bool { return pl.Array == "" }
+
+func (pl *Placement) String() string {
+	if pl.ByIteration() {
+		return fmt.Sprintf("%s by-iteration over [1..%s] offset %s",
+			pl.Kind, pl.Space.Extent.String(), pl.Offset.String())
+	}
+	return fmt.Sprintf("%s owner-computes %s dim %d over [1..%s] offset %s",
+		pl.Kind, pl.Array, pl.Dim+1, pl.Space.Extent.String(), pl.Offset.String())
+}
+
+// Plan holds the placements for every parallel loop in a program, plus
+// wavefront placements for eligible serial loops.
+type Plan struct {
+	Kind       Kind
+	Placements map[*ir.Loop]*Placement
+	// Wavefront marks serial loops that can execute as a distributed
+	// relay: the loop's iterations are chunked by an owner-computes
+	// placement and executed in ascending rank order with point-to-
+	// point handoffs, preserving exact sequential order within the
+	// loop. Combined with a loop-bottom analysis that finds no carried
+	// communication, this yields the paper's §3.3 pipelining: workers
+	// overlap different iterations of the enclosing sequential loop.
+	Wavefront map[*ir.Loop]bool
+}
+
+// Build computes a plan for prog. Every parallel loop receives a
+// placement; loops whose LHS references do not yield a clean
+// owner-computes mapping fall back to by-iteration block partitioning.
+// Serial loops without nested parallel loops whose writes admit an
+// owner-computes placement become wavefront candidates.
+func Build(prog *ir.Program, kind Kind) *Plan {
+	plan := &Plan{
+		Kind:       kind,
+		Placements: map[*ir.Loop]*Placement{},
+		Wavefront:  map[*ir.Loop]bool{},
+	}
+	// walk returns whether it placed any loop in the subtree. A serial
+	// loop becomes a wavefront only when nothing inside it is
+	// distributable — otherwise it stays a nested region so the inner
+	// parallel/wavefront loops keep their parallelism (converting an
+	// enclosing time loop into a relay would serialize everything).
+	var walk func(stmts []ir.Stmt, outer []*ir.Loop) bool
+	walk = func(stmts []ir.Stmt, outer []*ir.Loop) bool {
+		placedAny := false
+		for _, s := range stmts {
+			switch n := s.(type) {
+			case *ir.Loop:
+				if n.Parallel {
+					plan.Placements[n] = place(prog, n, outer, kind)
+					placedAny = true
+					// Inner loops of a parallel loop run
+					// sequentially per processor; nested
+					// parallel loops are not partitioned
+					// again.
+					continue
+				}
+				if walk(n.Body, append(outer, n)) {
+					placedAny = true
+					continue
+				}
+				if kind == Block {
+					// Wavefront relay chunks must follow
+					// ascending block ownership; cyclic
+					// interleaving would break the relay
+					// order, so only block plans get
+					// wavefront placements.
+					if pl := place(prog, n, outer, kind); !pl.ByIteration() {
+						plan.Placements[n] = pl
+						plan.Wavefront[n] = true
+						placedAny = true
+					}
+				}
+			case *ir.If:
+				if walk(n.Then, outer) {
+					placedAny = true
+				}
+				if walk(n.Else, outer) {
+					placedAny = true
+				}
+			}
+		}
+		return placedAny
+	}
+	walk(prog.Body, nil)
+	return plan
+}
+
+// place derives the placement of one parallel loop.
+func place(prog *ir.Program, loop *ir.Loop, outer []*ir.Loop, kind Kind) *Placement {
+	env := ir.NewAffineEnv(prog)
+	iVar := linear.Loop(loop.Index)
+	env.Bind(loop.Index, iVar)
+	for _, ol := range outer {
+		env.Bind(ol.Index, linear.Loop(ol.Index))
+	}
+
+	// Vote over array references whose subscripts include i with unit
+	// coefficient in exactly one dimension, offset free of i and of
+	// inner loop indices. Writes implement owner-computes; when a loop
+	// writes no array (reduction loops), read references provide the
+	// affinity instead, so the loop is still placed in the same
+	// coordinate space as its producers.
+	type vote struct {
+		array  string
+		dim    int
+		offset linear.Affine
+		extent linear.Affine
+	}
+	innerIdx := ir.LoopIndicesOf(loop.Body)
+
+	voteRef := func(tally map[string]int, votes map[string]vote, r *ir.Ref) {
+		decl := prog.Array(r.Name)
+		if decl == nil {
+			return
+		}
+		for d, sub := range r.Subs {
+			// Skip subscripts mentioning inner loop indices: the
+			// owner would vary within one iteration of `loop`.
+			if mentionsAny(sub, innerIdx) {
+				continue
+			}
+			af, ok := env.Affine(sub)
+			if !ok || af.Coeff(iVar) != 1 {
+				continue
+			}
+			off := af.Sub(linear.VarExpr(iVar))
+			ext, ok := extentAffine(prog, decl, d, outer)
+			if !ok {
+				continue
+			}
+			v := vote{array: r.Name, dim: d, offset: off, extent: ext}
+			key := fmt.Sprintf("%s.%d.%s", v.array, v.dim, off.String())
+			tally[key]++
+			votes[key] = v
+			return // one vote per reference
+		}
+	}
+
+	writeTally, writeVotes := map[string]int{}, map[string]vote{}
+	readTally, readVotes := map[string]int{}, map[string]vote{}
+	ir.WalkStmts(loop.Body, func(s ir.Stmt) bool {
+		a, ok := s.(*ir.Assign)
+		if !ok {
+			return true
+		}
+		if a.LHS.IsArray() {
+			voteRef(writeTally, writeVotes, a.LHS)
+		}
+		ir.WalkExprs(a.RHS, func(x ir.Expr) {
+			if r, isRef := x.(*ir.Ref); isRef && r.IsArray() {
+				voteRef(readTally, readVotes, r)
+			}
+		})
+		return true
+	})
+
+	tally, votes := writeTally, writeVotes
+	if len(tally) == 0 {
+		tally, votes = readTally, readVotes
+	}
+	bestKey, bestCount := "", 0
+	for k, c := range tally {
+		if c > bestCount || (c == bestCount && k < bestKey) {
+			bestKey, bestCount = k, c
+		}
+	}
+	if bestCount > 0 {
+		v := votes[bestKey]
+		pl := &Placement{
+			Loop:   loop,
+			Kind:   kind,
+			Space:  NewSpace(v.extent),
+			Offset: v.offset,
+			Array:  v.array,
+			Dim:    v.dim,
+		}
+		pl.OuterIndices = outerIndicesOf(pl.Offset, pl.Space.Extent, outer)
+		return pl
+	}
+
+	// Fallback: partition the iteration space itself. Owning coordinate
+	// x = i - lo + 1, extent = hi - lo + 1.
+	lo, ok1 := env.Affine(loop.Lo)
+	hi, ok2 := env.Affine(loop.Hi)
+	if !ok1 || !ok2 {
+		// Degenerate: bounds not affine; partition a nominal space.
+		lo, hi = linear.NewAffine(1), linear.NewAffine(1)
+	}
+	pl := &Placement{
+		Loop:   loop,
+		Kind:   kind,
+		Space:  NewSpace(hi.Sub(lo).AddConst(1)),
+		Offset: lo.Neg().AddConst(1),
+	}
+	pl.OuterIndices = outerIndicesOf(pl.Offset, pl.Space.Extent, outer)
+	return pl
+}
+
+// extentAffine converts array dimension d's extent to affine form.
+func extentAffine(prog *ir.Program, decl *ir.ArrayDecl, d int, outer []*ir.Loop) (linear.Affine, bool) {
+	env := ir.NewAffineEnv(prog)
+	for _, ol := range outer {
+		env.Bind(ol.Index, linear.Loop(ol.Index))
+	}
+	return env.Affine(decl.Dims[d])
+}
+
+func mentionsAny(e ir.Expr, names map[string]bool) bool {
+	found := false
+	ir.WalkExprs(e, func(x ir.Expr) {
+		if r, ok := x.(*ir.Ref); ok && !r.IsArray() && names[r.Name] {
+			found = true
+		}
+	})
+	return found
+}
+
+// outerIndicesOf returns the enclosing-loop indices mentioned by the
+// placement's offset or extent, in nest order.
+func outerIndicesOf(offset, extent linear.Affine, outer []*ir.Loop) []string {
+	var out []string
+	for _, ol := range outer {
+		v := linear.Loop(ol.Index)
+		if offset.Coeff(v) != 0 || extent.Coeff(v) != 0 {
+			out = append(out, ol.Index)
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"math"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// ComparableDiff returns the largest absolute difference between two final
+// states over all array elements and all observable scalars. Scalars
+// privatized in any loop are excluded: their post-loop values are dead by
+// construction (the parallelizer refuses to privatize live-out scalars),
+// so the parallel execution legitimately leaves the shared copy untouched.
+func ComparableDiff(ref, got *interp.State, prog *ir.Program) float64 {
+	private := map[string]bool{}
+	ir.WalkStmts(prog.Body, func(s ir.Stmt) bool {
+		if l, ok := s.(*ir.Loop); ok {
+			for _, p := range l.Private {
+				private[p] = true
+			}
+		}
+		return true
+	})
+	worst := 0.0
+	for _, decl := range prog.Arrays {
+		a, b := ref.Array(decl.Name), got.Array(decl.Name)
+		if a == nil || b == nil || len(a.Data) != len(b.Data) {
+			return math.Inf(1)
+		}
+		for i := range a.Data {
+			if d := absDiff(a.Data[i], b.Data[i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	for _, s := range prog.Scalars {
+		if private[s] {
+			continue
+		}
+		if d := absDiff(ref.Scalars[s], got.Scalars[s]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// absDiff is NaN-safe: non-finite values that do not match exactly compare
+// as infinitely different instead of letting Inf-Inf = NaN slip through a
+// `> tol` check.
+func absDiff(a, b float64) float64 {
+	if a == b || (math.IsNaN(a) && math.IsNaN(b)) {
+		return 0
+	}
+	d := math.Abs(a - b)
+	if math.IsNaN(d) {
+		return math.Inf(1)
+	}
+	return d
+}

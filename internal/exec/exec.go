@@ -1,0 +1,621 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/linear"
+	"repro/internal/region"
+	"repro/internal/spmdrt"
+	"repro/internal/syncopt"
+)
+
+// Mode selects the execution model.
+type Mode int
+
+const (
+	// ForkJoin is the baseline: sequential parts run on the master,
+	// every parallel loop is dispatched to the team and followed by a
+	// join barrier (pair it with a syncopt Baseline schedule).
+	ForkJoin Mode = iota
+	// SPMD runs the whole program on every worker under the optimized
+	// schedule: replicated statements everywhere, guarded statements on
+	// the master, parallel loops partitioned, boundary synchronization
+	// as scheduled.
+	SPMD
+)
+
+func (m Mode) String() string {
+	if m == ForkJoin {
+		return "fork-join"
+	}
+	return "spmd"
+}
+
+// Config configures a parallel run.
+type Config struct {
+	Workers int
+	Barrier spmdrt.BarrierKind
+	Params  map[string]int64
+	Mode    Mode
+	// DeterministicReductions serializes reduction merges in worker-rank
+	// order (a point-to-point chain), making results bitwise reproducible
+	// run-to-run at the cost of serializing the merge step. Without it,
+	// merges use lock-free CAS in arrival order, so floating-point
+	// reduction results may differ across runs by roundoff.
+	DeterministicReductions bool
+}
+
+// Result carries the final state and the dynamic synchronization counts.
+type Result struct {
+	State   *interp.State
+	Stats   spmdrt.StatsSnapshot
+	Elapsed time.Duration
+}
+
+// Runner executes one (program, schedule, plan) combination repeatedly.
+type Runner struct {
+	prog  *ir.Program
+	sched *syncopt.Schedule
+	plan  *decomp.Plan
+	cfg   Config
+	// sites[rs][i] is the global sync-site id of boundary i of region rs.
+	sites  map[*syncopt.RegionSched][]int
+	nSites int
+}
+
+// NewRunner validates the configuration and precomputes sync-site ids.
+func NewRunner(prog *ir.Program, sched *syncopt.Schedule, plan *decomp.Plan, cfg Config) (*Runner, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("exec: Workers must be positive, got %d", cfg.Workers)
+	}
+	r := &Runner{prog: prog, sched: sched, plan: plan, cfg: cfg,
+		sites: map[*syncopt.RegionSched][]int{}}
+	var number func(rs *syncopt.RegionSched)
+	number = func(rs *syncopt.RegionSched) {
+		ids := make([]int, len(rs.After))
+		for i := range rs.After {
+			ids[i] = r.nSites
+			r.nSites++
+		}
+		r.sites[rs] = ids
+		for _, g := range rs.Groups {
+			for _, s := range g.Stmts {
+				if sched.Modes[s] == region.ModeSeqLoop {
+					number(sched.Regions[s.(*ir.Loop)])
+				}
+			}
+		}
+	}
+	number(sched.Top)
+	return r, nil
+}
+
+// Run executes the program on a fresh deterministically-seeded state.
+func (r *Runner) Run() (*Result, error) {
+	st, err := interp.NewState(r.prog, r.cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	st.SeedDeterministic()
+	return r.RunOn(st)
+}
+
+// RunOn executes the program over existing storage.
+func (r *Runner) RunOn(st *interp.State) (*Result, error) {
+	ps := newPState(st)
+	team := spmdrt.NewTeam(r.cfg.Workers, r.cfg.Barrier)
+	run := &teamRun{
+		Runner:    r,
+		ps:        ps,
+		team:      team,
+		counters:  make([]*spmdrt.Counter, r.nSites),
+		p2ps:      make([]*spmdrt.P2P, r.nSites),
+		dispatch:  spmdrt.NewCounter(),
+		errs:      make([]error, r.cfg.Workers),
+		redChain:  map[*ir.Loop]*spmdrt.P2P{},
+		waveChain: map[*ir.Loop]*spmdrt.P2P{},
+	}
+	for l := range r.plan.Wavefront {
+		run.waveChain[l] = spmdrt.NewP2P(r.cfg.Workers)
+	}
+	if r.cfg.DeterministicReductions {
+		ir.WalkStmts(r.prog.Body, func(s ir.Stmt) bool {
+			if l, ok := s.(*ir.Loop); ok && l.Parallel && len(l.Reductions) > 0 {
+				run.redChain[l] = spmdrt.NewP2P(r.cfg.Workers)
+			}
+			return true
+		})
+	}
+	for i := 0; i < r.nSites; i++ {
+		run.counters[i] = spmdrt.NewCounter()
+		run.p2ps[i] = spmdrt.NewP2P(r.cfg.Workers)
+	}
+	// In SPMD mode, scalars written only by replicated statements live in
+	// per-worker storage (the paper's replicated computation model);
+	// worker 0's final values are flushed back afterwards.
+	var replNames []string
+	if r.cfg.Mode == SPMD && r.sched.Info != nil {
+		for name := range r.sched.Info.ReplicatedScalars {
+			replNames = append(replNames, name)
+		}
+	}
+	repl0 := map[string]*float64{}
+
+	start := time.Now()
+	team.Run(func(w int) {
+		ws := &workerState{
+			run:       run,
+			w:         w,
+			env:       newWenv(ps),
+			cum:       make([]int64, r.nSites),
+			cross:     make([]int64, r.nSites),
+			activeBuf: make([]bool, r.cfg.Workers),
+		}
+		for _, name := range replNames {
+			cell := new(float64)
+			if i, ok := ps.scalarIdx[name]; ok {
+				*cell = ps.loadScalar(i)
+			}
+			ws.env.priv[name] = cell
+			if w == 0 {
+				repl0[name] = cell
+			}
+		}
+		ws.execRegion(r.sched.Top)
+		run.errs[w] = ws.err
+	})
+	elapsed := time.Since(start)
+	for _, e := range run.errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	for name, cell := range repl0 {
+		if i, ok := ps.scalarIdx[name]; ok {
+			ps.storeScalar(i, *cell)
+		}
+	}
+	ps.flushTo(st)
+	return &Result{State: st, Stats: team.Stats.Snapshot(), Elapsed: elapsed}, nil
+}
+
+// teamRun is the shared per-run context.
+type teamRun struct {
+	*Runner
+	ps       *pstate
+	team     *spmdrt.Team
+	counters []*spmdrt.Counter
+	p2ps     []*spmdrt.P2P
+	dispatch *spmdrt.Counter
+	errs     []error
+	// redChain serializes reduction merges per loop when
+	// DeterministicReductions is on.
+	redChain map[*ir.Loop]*spmdrt.P2P
+	// waveChain holds the relay handoff counters of each wavefront loop.
+	waveChain map[*ir.Loop]*spmdrt.P2P
+}
+
+// workerState is one worker's execution context.
+type workerState struct {
+	run *teamRun
+	w   int
+	env *wenv
+	err error
+	// cum: per-site cumulative counter targets (identical on all
+	// workers — each computes them from the same deterministic data).
+	cum []int64
+	// cross: per-site neighbor-sync crossing counts.
+	cross []int64
+	// dispatchSeq: fork-join dispatch sequence number.
+	dispatchSeq int64
+	activeBuf   []bool
+	// redInstance counts executions of each reduction loop, for the
+	// deterministic merge chain.
+	redInstance map[*ir.Loop]int64
+}
+
+func (ws *workerState) fail(err error) {
+	if ws.err == nil && err != nil {
+		ws.err = err
+	}
+}
+
+// execRegion runs one region's groups and boundary synchronization. For a
+// loop region this executes ONE iteration's worth (the caller drives the
+// loop), including the loop-bottom sync at the last boundary.
+func (ws *workerState) execRegion(rs *syncopt.RegionSched) {
+	ids := ws.run.sites[rs]
+	for gi := range rs.Groups {
+		for _, s := range rs.Groups[gi].Stmts {
+			ws.execTop(s)
+		}
+		ws.applySync(rs, gi, ids[gi])
+	}
+}
+
+// execTop executes one region statement according to its mode.
+func (ws *workerState) execTop(s ir.Stmt) {
+	mode := ws.run.sched.Modes[s]
+	forkJoin := ws.run.cfg.Mode == ForkJoin
+	switch mode {
+	case region.ModeParallel:
+		l := s.(*ir.Loop)
+		if forkJoin {
+			// Fork-join dispatch: master signals that preceding
+			// sequential work is complete.
+			ws.dispatchSeq++
+			if ws.w == 0 {
+				ws.run.team.Stats.Dispatches.Add(1)
+				ws.run.dispatch.Add(1)
+			} else {
+				ws.run.dispatch.WaitGE(ws.dispatchSeq)
+			}
+		}
+		ws.execParallelSlice(l)
+	case region.ModeReplicated:
+		if forkJoin && ws.w != 0 {
+			return
+		}
+		ws.seqExec([]ir.Stmt{s})
+	case region.ModeGuarded:
+		if ws.w != 0 {
+			return
+		}
+		ws.seqExec([]ir.Stmt{s})
+	case region.ModeWavefront:
+		l := s.(*ir.Loop)
+		if forkJoin {
+			// Baseline: the serial loop runs on the master, as
+			// SUIF's fork-join code would.
+			if ws.w == 0 {
+				ws.seqExec([]ir.Stmt{s})
+			}
+			return
+		}
+		ws.execWavefront(l)
+	case region.ModeSeqLoop:
+		l := s.(*ir.Loop)
+		lo, err := ws.env.evalInt(l.Lo)
+		if err != nil {
+			ws.fail(err)
+			return
+		}
+		hi, err := ws.env.evalInt(l.Hi)
+		if err != nil {
+			ws.fail(err)
+			return
+		}
+		inner := ws.run.sched.Regions[l]
+		for k := lo; k <= hi; k++ {
+			ws.env.idx[l.Index] = k
+			ws.execRegion(inner)
+		}
+		delete(ws.env.idx, l.Index)
+	}
+}
+
+// execWavefront runs the worker's chunk of a serial loop as a relay:
+// ascending rank order with point-to-point handoffs preserves the exact
+// sequential iteration order across workers (§3.3 pipelining — workers in
+// an enclosing sequential loop proceed in a staggered wave).
+func (ws *workerState) execWavefront(l *ir.Loop) {
+	e := ws.env
+	lo, err := e.evalInt(l.Lo)
+	if err != nil {
+		ws.fail(err)
+		return
+	}
+	hi, err := e.evalInt(l.Hi)
+	if err != nil {
+		ws.fail(err)
+		return
+	}
+	chain := ws.run.waveChain[l]
+	if chain == nil {
+		ws.fail(fmt.Errorf("no relay chain for wavefront loop %s", l.Index))
+		return
+	}
+	if ws.redInstance == nil {
+		ws.redInstance = map[*ir.Loop]int64{}
+	}
+	ws.redInstance[l]++
+	inst := ws.redInstance[l]
+	if ws.w > 0 {
+		ws.run.team.Stats.NeighborWaits.Add(1)
+		chain.WaitFor(ws.w-1, inst)
+	}
+	start, end, step, err := ws.slice(l, lo, hi, ws.w)
+	if err != nil {
+		ws.fail(err)
+	} else {
+		for i := start; i <= end && ws.err == nil; i += step {
+			e.idx[l.Index] = i
+			ws.seqExec(l.Body)
+		}
+		delete(e.idx, l.Index)
+	}
+	chain.Post(ws.w)
+}
+
+// execParallelSlice runs this worker's partition of a parallel loop.
+func (ws *workerState) execParallelSlice(l *ir.Loop) {
+	e := ws.env
+	lo, err := e.evalInt(l.Lo)
+	if err != nil {
+		ws.fail(err)
+		return
+	}
+	hi, err := e.evalInt(l.Hi)
+	if err != nil {
+		ws.fail(err)
+		return
+	}
+	start, end, step, err := ws.slice(l, lo, hi, ws.w)
+	if err != nil {
+		ws.fail(err)
+		return
+	}
+
+	// Activate privates and reduction partials.
+	type saved struct {
+		name string
+		old  *float64
+	}
+	var saves []saved
+	activate := func(name string, init float64) *float64 {
+		saves = append(saves, saved{name, e.priv[name]})
+		cell := new(float64)
+		*cell = init
+		e.priv[name] = cell
+		return cell
+	}
+	for _, p := range l.Private {
+		activate(p, 0)
+	}
+	type redCell struct {
+		idx int
+		op  ir.BinKind
+		c   *float64
+	}
+	var reds []redCell
+	for _, red := range l.Reductions {
+		si, found := e.ps.scalarIdx[red.Var]
+		if !found {
+			ws.fail(fmt.Errorf("reduction variable %s is not a scalar", red.Var))
+			return
+		}
+		reds = append(reds, redCell{idx: si, op: red.Op,
+			c: activate(red.Var, reductionIdentity(red.Op))})
+	}
+
+	for i := start; i <= end && ws.err == nil; i += step {
+		e.idx[l.Index] = i
+		ws.seqExec(l.Body)
+	}
+	delete(e.idx, l.Index)
+
+	if len(reds) > 0 {
+		if chain := ws.run.redChain[l]; chain != nil {
+			// Rank-ordered merge: wait for the previous worker's
+			// merge of this loop instance, merge, then post.
+			if ws.redInstance == nil {
+				ws.redInstance = map[*ir.Loop]int64{}
+			}
+			ws.redInstance[l]++
+			inst := ws.redInstance[l]
+			if ws.w > 0 {
+				chain.WaitFor(ws.w-1, inst)
+			}
+			for _, rc := range reds {
+				e.ps.mergeScalar(rc.idx, *rc.c, rc.op)
+			}
+			chain.Post(ws.w)
+		} else {
+			for _, rc := range reds {
+				e.ps.mergeScalar(rc.idx, *rc.c, rc.op)
+			}
+		}
+	}
+	for i := len(saves) - 1; i >= 0; i-- {
+		e.priv[saves[i].name] = saves[i].old
+	}
+}
+
+// slice computes worker w's iteration slice of a parallel loop under the
+// current environment.
+func (ws *workerState) slice(l *ir.Loop, lo, hi int64, w int) (start, end, step int64, err error) {
+	pl := ws.run.plan.Placements[l]
+	if pl == nil {
+		return 0, -1, 1, fmt.Errorf("no placement for parallel loop %s", l.Index)
+	}
+	off, err := ws.affineVal(pl.Offset)
+	if err != nil {
+		return 0, -1, 1, err
+	}
+	ext, err := ws.affineVal(pl.Space.Extent)
+	if err != nil {
+		return 0, -1, 1, err
+	}
+	if ext < 1 || lo > hi {
+		return 0, -1, 1, nil
+	}
+	start, end, step = decomp.IterSlice(pl.Kind, lo, hi, off, ext, w, ws.run.cfg.Workers)
+	return start, end, step, nil
+}
+
+// affineVal evaluates an affine expression over parameters and currently
+// bound loop indices.
+func (ws *workerState) affineVal(a linear.Affine) (int64, error) {
+	v := a.Const
+	for _, vr := range a.Vars() {
+		var val int64
+		switch vr.Kind {
+		case linear.KindSymbolic:
+			p, ok := ws.run.cfg.Params[vr.Name]
+			if !ok {
+				return 0, fmt.Errorf("unbound parameter %s in placement", vr.Name)
+			}
+			val = p
+		case linear.KindLoop:
+			i, ok := ws.env.idx[vr.Name]
+			if !ok {
+				return 0, fmt.Errorf("unbound loop index %s in placement", vr.Name)
+			}
+			val = i
+		default:
+			return 0, fmt.Errorf("unexpected variable %s in placement", vr.Name)
+		}
+		v += a.Coeff(vr) * val
+	}
+	return v, nil
+}
+
+// seqExec executes statements sequentially on this worker (bodies of
+// parallel-loop slices, guarded statements, replicated statements). Any
+// nested `parallel` annotation inside is executed sequentially here.
+func (ws *workerState) seqExec(stmts []ir.Stmt) {
+	for _, s := range stmts {
+		if ws.err != nil {
+			return
+		}
+		switch n := s.(type) {
+		case *ir.Assign:
+			ws.fail(ws.env.assign(n))
+		case *ir.Loop:
+			lo, err := ws.env.evalInt(n.Lo)
+			if err != nil {
+				ws.fail(err)
+				return
+			}
+			hi, err := ws.env.evalInt(n.Hi)
+			if err != nil {
+				ws.fail(err)
+				return
+			}
+			for i := lo; i <= hi && ws.err == nil; i++ {
+				ws.env.idx[n.Index] = i
+				ws.seqExec(n.Body)
+			}
+			delete(ws.env.idx, n.Index)
+		case *ir.If:
+			c, err := ws.env.evalBool(n.Cond)
+			if err != nil {
+				ws.fail(err)
+				return
+			}
+			if c {
+				ws.seqExec(n.Then)
+			} else {
+				ws.seqExec(n.Else)
+			}
+		}
+	}
+}
+
+// applySync performs the scheduled synchronization after group gi.
+func (ws *workerState) applySync(rs *syncopt.RegionSched, gi, site int) {
+	sync := rs.After[gi]
+	run := ws.run
+	switch sync.Class {
+	case comm.ClassNone:
+		return
+	case comm.ClassBarrier:
+		run.team.Barrier(ws.w)
+	case comm.ClassCounter:
+		self, total := ws.groupActivity(rs.Groups[gi])
+		ws.cum[site] += int64(total)
+		if self {
+			run.team.Stats.CounterIncrs.Add(1)
+			run.counters[site].Add(1)
+		}
+		run.team.Stats.CounterWaits.Add(1)
+		run.counters[site].WaitGE(ws.cum[site])
+	case comm.ClassNeighbor:
+		ws.cross[site]++
+		c := ws.cross[site]
+		run.p2ps[site].Post(ws.w)
+		if sync.WaitLower && ws.w > 0 {
+			run.team.Stats.NeighborWaits.Add(1)
+			run.p2ps[site].WaitFor(ws.w-1, c)
+		}
+		if sync.WaitUpper && ws.w < run.cfg.Workers-1 {
+			run.team.Stats.NeighborWaits.Add(1)
+			run.p2ps[site].WaitFor(ws.w+1, c)
+		}
+	}
+}
+
+// groupActivity reports whether this worker produced shared work in the
+// group and how many workers did (the counter target). All workers compute
+// identical totals from the same deterministic partition arithmetic.
+func (ws *workerState) groupActivity(g syncopt.Group) (self bool, total int) {
+	for i := range ws.activeBuf {
+		ws.activeBuf[i] = false
+	}
+	for _, s := range g.Stmts {
+		switch ws.run.sched.Modes[s] {
+		case region.ModeParallel:
+			l := s.(*ir.Loop)
+			lo, err1 := ws.env.evalInt(l.Lo)
+			hi, err2 := ws.env.evalInt(l.Hi)
+			if err1 != nil || err2 != nil {
+				// Conservative: count everyone.
+				for i := range ws.activeBuf {
+					ws.activeBuf[i] = true
+				}
+				continue
+			}
+			for w := 0; w < ws.run.cfg.Workers; w++ {
+				if ws.activeBuf[w] {
+					continue
+				}
+				st, en, _, err := ws.slice(l, lo, hi, w)
+				if err != nil || st <= en {
+					ws.activeBuf[w] = true
+				}
+			}
+		case region.ModeWavefront:
+			l := s.(*ir.Loop)
+			lo, err1 := ws.env.evalInt(l.Lo)
+			hi, err2 := ws.env.evalInt(l.Hi)
+			if err1 != nil || err2 != nil {
+				for i := range ws.activeBuf {
+					ws.activeBuf[i] = true
+				}
+				continue
+			}
+			for w := 0; w < ws.run.cfg.Workers; w++ {
+				if ws.activeBuf[w] {
+					continue
+				}
+				st2, en, _, err := ws.slice(l, lo, hi, w)
+				if err != nil || st2 <= en {
+					ws.activeBuf[w] = true
+				}
+			}
+		case region.ModeGuarded:
+			ws.activeBuf[0] = true
+		case region.ModeSeqLoop:
+			for i := range ws.activeBuf {
+				ws.activeBuf[i] = true
+			}
+		case region.ModeReplicated:
+			// Replicated writes are worker-local: no shared
+			// production.
+		}
+	}
+	for w, a := range ws.activeBuf {
+		if a {
+			total++
+			if w == ws.w {
+				self = true
+			}
+		}
+	}
+	return self, total
+}

@@ -1,0 +1,408 @@
+// Package exec executes compiled programs on the SPMD runtime: a fork-join
+// baseline (dispatch + join barrier around every parallel loop, as SUIF
+// emits before the paper's pass) and the optimized SPMD schedule produced
+// by internal/syncopt. Both produce states comparable against the
+// sequential interpreter, which is the repository's end-to-end correctness
+// oracle: a synchronization the optimizer wrongly removed shows up as a
+// wrong answer (and as a data race under `go test -race`).
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// pstate is the shared storage of one parallel execution. Array elements
+// are written by at most one worker between synchronizations (disjoint
+// computation partitions) and read cross-worker only across happens-before
+// edges created by the sync primitives. Scalars are kept as atomic bit
+// patterns because replicated statements legitimately store the same value
+// from every worker concurrently.
+type pstate struct {
+	prog      *ir.Program
+	params    map[string]int64
+	arrays    map[string]*interp.ArrayVal
+	scalarIdx map[string]int
+	scalars   []atomic.Uint64
+}
+
+func newPState(st *interp.State) *pstate {
+	ps := &pstate{
+		prog:      st.Prog,
+		params:    st.Params,
+		arrays:    map[string]*interp.ArrayVal{},
+		scalarIdx: map[string]int{},
+	}
+	for _, a := range st.Prog.Arrays {
+		ps.arrays[a.Name] = st.Array(a.Name)
+	}
+	ps.scalars = make([]atomic.Uint64, len(st.Prog.Scalars))
+	for i, s := range st.Prog.Scalars {
+		ps.scalarIdx[s] = i
+		ps.scalars[i].Store(math.Float64bits(st.Scalars[s]))
+	}
+	return ps
+}
+
+// flushTo copies scalar values back into the State map form.
+func (ps *pstate) flushTo(st *interp.State) {
+	for name, i := range ps.scalarIdx {
+		st.Scalars[name] = math.Float64frombits(ps.scalars[i].Load())
+	}
+}
+
+func (ps *pstate) loadScalar(i int) float64 {
+	return math.Float64frombits(ps.scalars[i].Load())
+}
+
+func (ps *pstate) storeScalar(i int, v float64) {
+	ps.scalars[i].Store(math.Float64bits(v))
+}
+
+// mergeScalar combines a reduction partial into the shared slot with a CAS
+// loop (the paper's reduction finalization at the end of each worker's
+// loop slice).
+func (ps *pstate) mergeScalar(i int, v float64, op ir.BinKind) {
+	for {
+		old := ps.scalars[i].Load()
+		ov := math.Float64frombits(old)
+		var nv float64
+		switch op {
+		case ir.Add:
+			nv = ov + v
+		case ir.Mul:
+			nv = ov * v
+		case ir.MinOp:
+			nv = math.Min(ov, v)
+		case ir.MaxOp:
+			nv = math.Max(ov, v)
+		default:
+			panic("exec: unknown reduction operator")
+		}
+		if ps.scalars[i].CompareAndSwap(old, math.Float64bits(nv)) {
+			return
+		}
+	}
+}
+
+// reductionIdentity returns the identity element of a reduction operator.
+func reductionIdentity(op ir.BinKind) float64 {
+	switch op {
+	case ir.Add:
+		return 0
+	case ir.Mul:
+		return 1
+	case ir.MinOp:
+		return math.Inf(1)
+	case ir.MaxOp:
+		return math.Inf(-1)
+	default:
+		panic("exec: unknown reduction operator")
+	}
+}
+
+// wenv is one worker's evaluation environment: shared storage plus
+// worker-local loop indices, privatized scalars and reduction partials.
+type wenv struct {
+	ps  *pstate
+	idx map[string]int64
+	// priv maps privatized/reduction scalar names to worker-local cells;
+	// nil entries mean the name is currently shared.
+	priv map[string]*float64
+}
+
+func newWenv(ps *pstate) *wenv {
+	return &wenv{ps: ps, idx: map[string]int64{}, priv: map[string]*float64{}}
+}
+
+func (e *wenv) evalInt(x ir.Expr) (int64, error) {
+	switch n := x.(type) {
+	case *ir.Num:
+		if !n.IsInt {
+			return 0, fmt.Errorf("%s: float literal in integer context", n.P)
+		}
+		return n.Int, nil
+	case *ir.Ref:
+		if n.IsArray() {
+			return 0, fmt.Errorf("%s: array element in integer context", n.P)
+		}
+		if v, ok := e.idx[n.Name]; ok {
+			return v, nil
+		}
+		if v, ok := e.ps.params[n.Name]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("%s: %s is not an integer parameter or loop index", n.P, n.Name)
+	case *ir.Unary:
+		if n.Op != '-' {
+			return 0, fmt.Errorf("%s: logical operator in integer context", n.P)
+		}
+		v, err := e.evalInt(n.X)
+		return -v, err
+	case *ir.Bin:
+		l, err := e.evalInt(n.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := e.evalInt(n.R)
+		if err != nil {
+			return 0, err
+		}
+		switch n.Op {
+		case ir.Add:
+			return l + r, nil
+		case ir.Sub:
+			return l - r, nil
+		case ir.Mul:
+			return l * r, nil
+		case ir.Div:
+			if r == 0 {
+				return 0, fmt.Errorf("%s: integer division by zero", n.P)
+			}
+			q := l / r
+			if l%r != 0 && (l < 0) != (r < 0) {
+				q--
+			}
+			return q, nil
+		default:
+			return 0, fmt.Errorf("%s: operator %s in integer context", n.P, n.Op)
+		}
+	case *ir.Call:
+		if n.Name == "mod" {
+			l, err := e.evalInt(n.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			r, err := e.evalInt(n.Args[1])
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("%s: mod by zero", n.P)
+			}
+			m := l % r
+			if m != 0 && (m < 0) != (r < 0) {
+				m += r
+			}
+			return m, nil
+		}
+		return 0, fmt.Errorf("%s: intrinsic %s in integer context", n.P, n.Name)
+	default:
+		return 0, fmt.Errorf("unhandled integer expression %T", x)
+	}
+}
+
+func (e *wenv) readName(name string, pos ir.Pos) (float64, error) {
+	if v, ok := e.idx[name]; ok {
+		return float64(v), nil
+	}
+	if v, ok := e.ps.params[name]; ok {
+		return float64(v), nil
+	}
+	if cell := e.priv[name]; cell != nil {
+		return *cell, nil
+	}
+	if i, ok := e.ps.scalarIdx[name]; ok {
+		return e.ps.loadScalar(i), nil
+	}
+	return 0, fmt.Errorf("%s: unknown name %s", pos, name)
+}
+
+func (e *wenv) evalFloat(x ir.Expr) (float64, error) {
+	switch n := x.(type) {
+	case *ir.Num:
+		return n.Val, nil
+	case *ir.Ref:
+		if !n.IsArray() {
+			return e.readName(n.Name, n.P)
+		}
+		a := e.ps.arrays[n.Name]
+		if a == nil {
+			return 0, fmt.Errorf("%s: unknown array %s", n.P, n.Name)
+		}
+		off, err := e.offset(a, n.Subs, n.P)
+		if err != nil {
+			return 0, err
+		}
+		return a.Data[off], nil
+	case *ir.Unary:
+		if n.Op == '-' {
+			v, err := e.evalFloat(n.X)
+			return -v, err
+		}
+		b, err := e.evalBool(n.X)
+		if err != nil {
+			return 0, err
+		}
+		if b {
+			return 0, nil
+		}
+		return 1, nil
+	case *ir.Bin:
+		if n.Op.IsCompare() || n.Op == ir.AndOp || n.Op == ir.OrOp {
+			b, err := e.evalBool(n)
+			if err != nil {
+				return 0, err
+			}
+			if b {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		l, err := e.evalFloat(n.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := e.evalFloat(n.R)
+		if err != nil {
+			return 0, err
+		}
+		switch n.Op {
+		case ir.Add:
+			return l + r, nil
+		case ir.Sub:
+			return l - r, nil
+		case ir.Mul:
+			return l * r, nil
+		case ir.Div:
+			return l / r, nil
+		default:
+			return 0, fmt.Errorf("%s: unhandled operator %s", n.P, n.Op)
+		}
+	case *ir.Call:
+		args := make([]float64, len(n.Args))
+		for i, a := range n.Args {
+			v, err := e.evalFloat(a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		switch n.Name {
+		case "sqrt":
+			return math.Sqrt(args[0]), nil
+		case "abs":
+			return math.Abs(args[0]), nil
+		case "exp":
+			return math.Exp(args[0]), nil
+		case "log":
+			return math.Log(args[0]), nil
+		case "sin":
+			return math.Sin(args[0]), nil
+		case "cos":
+			return math.Cos(args[0]), nil
+		case "min":
+			return math.Min(args[0], args[1]), nil
+		case "max":
+			return math.Max(args[0], args[1]), nil
+		case "pow":
+			return math.Pow(args[0], args[1]), nil
+		case "mod":
+			return math.Mod(args[0], args[1]), nil
+		default:
+			return 0, fmt.Errorf("%s: unknown intrinsic %s", n.P, n.Name)
+		}
+	default:
+		return 0, fmt.Errorf("unhandled expression %T", x)
+	}
+}
+
+func (e *wenv) evalBool(x ir.Expr) (bool, error) {
+	switch n := x.(type) {
+	case *ir.Bin:
+		switch n.Op {
+		case ir.AndOp:
+			l, err := e.evalBool(n.L)
+			if err != nil || !l {
+				return false, err
+			}
+			return e.evalBool(n.R)
+		case ir.OrOp:
+			l, err := e.evalBool(n.L)
+			if err != nil || l {
+				return l, err
+			}
+			return e.evalBool(n.R)
+		case ir.EqOp, ir.NeOp, ir.LtOp, ir.LeOp, ir.GtOp, ir.GeOp:
+			l, err := e.evalFloat(n.L)
+			if err != nil {
+				return false, err
+			}
+			r, err := e.evalFloat(n.R)
+			if err != nil {
+				return false, err
+			}
+			switch n.Op {
+			case ir.EqOp:
+				return l == r, nil
+			case ir.NeOp:
+				return l != r, nil
+			case ir.LtOp:
+				return l < r, nil
+			case ir.LeOp:
+				return l <= r, nil
+			case ir.GtOp:
+				return l > r, nil
+			default:
+				return l >= r, nil
+			}
+		}
+	case *ir.Unary:
+		if n.Op == '!' {
+			b, err := e.evalBool(n.X)
+			return !b, err
+		}
+	}
+	v, err := e.evalFloat(x)
+	return v != 0, err
+}
+
+func (e *wenv) offset(a *interp.ArrayVal, subs []ir.Expr, pos ir.Pos) (int64, error) {
+	vals := make([]int64, len(subs))
+	for i, s := range subs {
+		v, err := e.evalInt(s)
+		if err != nil {
+			return 0, err
+		}
+		vals[i] = v
+	}
+	off, err := a.Offset(vals)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", pos, err)
+	}
+	return off, nil
+}
+
+// assign executes one assignment for this worker.
+func (e *wenv) assign(a *ir.Assign) error {
+	v, err := e.evalFloat(a.RHS)
+	if err != nil {
+		return err
+	}
+	lhs := a.LHS
+	if lhs.IsArray() {
+		arr := e.ps.arrays[lhs.Name]
+		if arr == nil {
+			return fmt.Errorf("%s: unknown array %s", lhs.P, lhs.Name)
+		}
+		off, err := e.offset(arr, lhs.Subs, lhs.P)
+		if err != nil {
+			return err
+		}
+		arr.Data[off] = v
+		return nil
+	}
+	if cell := e.priv[lhs.Name]; cell != nil {
+		*cell = v
+		return nil
+	}
+	if i, ok := e.ps.scalarIdx[lhs.Name]; ok {
+		e.ps.storeScalar(i, v)
+		return nil
+	}
+	return fmt.Errorf("%s: assignment to unknown scalar %s", lhs.P, lhs.Name)
+}

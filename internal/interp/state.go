@@ -1,0 +1,190 @@
+// Package interp provides program state (parameter bindings, array and
+// scalar storage) and a sequential reference interpreter for ir programs.
+// The parallel executors in internal/exec operate on the same State type,
+// so their results can be compared element-for-element against the
+// sequential semantics — the repository's core correctness oracle.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// State holds the runtime storage of a program instance.
+type State struct {
+	Prog    *ir.Program
+	Params  map[string]int64
+	Scalars map[string]float64
+	arrays  map[string]*ArrayVal
+}
+
+// ArrayVal is a dense float64 array with resolved extents. Subscripts are
+// 1-based (Fortran convention) and laid out row-major.
+type ArrayVal struct {
+	Name string
+	Dims []int64
+	Data []float64
+}
+
+// NewState allocates storage for prog with the given parameter values.
+// Every parameter must be bound; array extents must resolve to positive
+// values.
+func NewState(prog *ir.Program, params map[string]int64) (*State, error) {
+	st := &State{
+		Prog:    prog,
+		Params:  make(map[string]int64, len(params)),
+		Scalars: make(map[string]float64, len(prog.Scalars)),
+		arrays:  make(map[string]*ArrayVal, len(prog.Arrays)),
+	}
+	for _, p := range prog.Params {
+		v, ok := params[p]
+		if !ok {
+			return nil, fmt.Errorf("interp: parameter %s not bound", p)
+		}
+		st.Params[p] = v
+	}
+	for _, s := range prog.Scalars {
+		st.Scalars[s] = 0
+	}
+	env := newEnv(st)
+	for _, a := range prog.Arrays {
+		dims := make([]int64, len(a.Dims))
+		total := int64(1)
+		for i, d := range a.Dims {
+			v, err := env.evalInt(d)
+			if err != nil {
+				return nil, fmt.Errorf("interp: array %s extent: %w", a.Name, err)
+			}
+			if v <= 0 {
+				return nil, fmt.Errorf("interp: array %s dimension %d is %d (must be positive)", a.Name, i+1, v)
+			}
+			dims[i] = v
+			total *= v
+			if total > 1<<30 {
+				return nil, fmt.Errorf("interp: array %s too large (%d elements)", a.Name, total)
+			}
+		}
+		st.arrays[a.Name] = &ArrayVal{Name: a.Name, Dims: dims, Data: make([]float64, total)}
+	}
+	return st, nil
+}
+
+// Array returns the storage of a named array, or nil.
+func (st *State) Array(name string) *ArrayVal { return st.arrays[name] }
+
+// Offset converts 1-based subscripts to a flat row-major offset. It
+// returns an error when any subscript is out of bounds.
+func (a *ArrayVal) Offset(subs []int64) (int64, error) {
+	if len(subs) != len(a.Dims) {
+		return 0, fmt.Errorf("array %s: %d subscripts for rank %d", a.Name, len(subs), len(a.Dims))
+	}
+	off := int64(0)
+	for i, s := range subs {
+		if s < 1 || s > a.Dims[i] {
+			return 0, fmt.Errorf("array %s: subscript %d = %d out of bounds 1..%d", a.Name, i+1, s, a.Dims[i])
+		}
+		off = off*a.Dims[i] + (s - 1)
+	}
+	return off, nil
+}
+
+// SeedDeterministic fills every array with a deterministic pseudo-random
+// pattern derived from the array name and element offset, and zeroes the
+// scalars. Sequential and parallel executions seeded this way are
+// bitwise-comparable.
+func (st *State) SeedDeterministic() {
+	for _, a := range st.arrays {
+		h := fnv64(a.Name)
+		for i := range a.Data {
+			x := splitmix64(h + uint64(i))
+			// Map to (0,1): keep away from exact 0 to avoid
+			// division hazards in kernels.
+			a.Data[i] = (float64(x>>11) + 1) / float64(1<<53)
+		}
+	}
+	for k := range st.Scalars {
+		st.Scalars[k] = 0
+	}
+}
+
+// Clone returns a deep copy of the state (same program and params).
+func (st *State) Clone() *State {
+	c := &State{
+		Prog:    st.Prog,
+		Params:  st.Params,
+		Scalars: make(map[string]float64, len(st.Scalars)),
+		arrays:  make(map[string]*ArrayVal, len(st.arrays)),
+	}
+	for k, v := range st.Scalars {
+		c.Scalars[k] = v
+	}
+	for k, a := range st.arrays {
+		na := &ArrayVal{Name: a.Name, Dims: append([]int64(nil), a.Dims...), Data: make([]float64, len(a.Data))}
+		copy(na.Data, a.Data)
+		c.arrays[k] = na
+	}
+	return c
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between
+// the arrays and scalars of two states, for output comparison. States must
+// come from the same program/params; mismatched shapes return +Inf.
+func (st *State) MaxAbsDiff(other *State) float64 {
+	worst := 0.0
+	for name, a := range st.arrays {
+		b := other.arrays[name]
+		if b == nil || len(b.Data) != len(a.Data) {
+			return math.Inf(1)
+		}
+		for i := range a.Data {
+			d := math.Abs(a.Data[i] - b.Data[i])
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	for name, v := range st.Scalars {
+		d := math.Abs(v - other.Scalars[name])
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Checksum returns an order-independent digest of all array contents,
+// useful as a cheap fingerprint in benchmarks.
+func (st *State) Checksum() float64 {
+	sum := 0.0
+	for _, a := range st.arrays {
+		for _, v := range a.Data {
+			sum += v
+		}
+	}
+	for _, v := range st.Scalars {
+		sum += v
+	}
+	return sum
+}
+
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

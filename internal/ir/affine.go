@@ -1,0 +1,116 @@
+package ir
+
+import (
+	"repro/internal/linear"
+)
+
+// AffineEnv classifies names when converting index expressions to affine
+// form: parameters become symbolic variables, loop indices become loop
+// variables. Any other name (a runtime scalar, an array element) makes the
+// expression non-affine.
+type AffineEnv struct {
+	prog    *Program
+	loopVar map[string]linear.Var
+}
+
+// NewAffineEnv builds an environment for prog with no loop indices bound.
+func NewAffineEnv(prog *Program) *AffineEnv {
+	return &AffineEnv{prog: prog, loopVar: map[string]linear.Var{}}
+}
+
+// Bind associates a loop index name with a linear variable (callers may
+// rename, e.g. i → i1, for two-copy communication systems) and returns the
+// environment for chaining.
+func (env *AffineEnv) Bind(index string, v linear.Var) *AffineEnv {
+	env.loopVar[index] = v
+	return env
+}
+
+// Clone returns an independent copy of the environment.
+func (env *AffineEnv) Clone() *AffineEnv {
+	c := NewAffineEnv(env.prog)
+	for k, v := range env.loopVar {
+		c.loopVar[k] = v
+	}
+	return c
+}
+
+// Affine converts e to an affine form over symbolic parameters and bound
+// loop indices. ok is false when e is not affine under the environment
+// (contains array references, unbound scalars, products of variables,
+// division or intrinsics).
+func (env *AffineEnv) Affine(e Expr) (linear.Affine, bool) {
+	switch n := e.(type) {
+	case *Num:
+		if !n.IsInt {
+			// Float literals are not index expressions.
+			return linear.Affine{}, false
+		}
+		return linear.NewAffine(n.Int), true
+	case *Ref:
+		if n.IsArray() {
+			return linear.Affine{}, false
+		}
+		if v, ok := env.loopVar[n.Name]; ok {
+			return linear.VarExpr(v), true
+		}
+		if env.prog != nil && env.prog.IsParam(n.Name) {
+			return linear.VarExpr(linear.Sym(n.Name)), true
+		}
+		return linear.Affine{}, false
+	case *Unary:
+		if n.Op != '-' {
+			return linear.Affine{}, false
+		}
+		a, ok := env.Affine(n.X)
+		if !ok {
+			return linear.Affine{}, false
+		}
+		return a.Neg(), true
+	case *Bin:
+		switch n.Op {
+		case Add, Sub:
+			l, ok1 := env.Affine(n.L)
+			r, ok2 := env.Affine(n.R)
+			if !ok1 || !ok2 {
+				return linear.Affine{}, false
+			}
+			if n.Op == Add {
+				return l.Add(r), true
+			}
+			return l.Sub(r), true
+		case Mul:
+			l, ok1 := env.Affine(n.L)
+			r, ok2 := env.Affine(n.R)
+			if !ok1 || !ok2 {
+				return linear.Affine{}, false
+			}
+			switch {
+			case l.IsConstant():
+				return r.Scale(l.Const), true
+			case r.IsConstant():
+				return l.Scale(r.Const), true
+			default:
+				return linear.Affine{}, false
+			}
+		default:
+			return linear.Affine{}, false
+		}
+	default:
+		return linear.Affine{}, false
+	}
+}
+
+// AffineSubs converts all subscripts of an array reference; ok is false if
+// any subscript is non-affine.
+func (env *AffineEnv) AffineSubs(r *Ref) ([]linear.Affine, bool) {
+	out := make([]linear.Affine, len(r.Subs))
+	for i, s := range r.Subs {
+		a, ok := env.Affine(s)
+		if !ok {
+			return nil, false
+		}
+		out[i] = a
+	}
+	return out, true
+}

@@ -1,0 +1,173 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Fprint writes prog in the DSL's concrete syntax. The output parses back
+// to an equivalent program (modulo positions), which the tests rely on.
+func Fprint(w io.Writer, prog *Program) {
+	fmt.Fprintf(w, "program %s\n", prog.Name)
+	if len(prog.Params) > 0 {
+		fmt.Fprintf(w, "param %s\n", strings.Join(prog.Params, ", "))
+	}
+	var decls []string
+	for _, a := range prog.Arrays {
+		dims := make([]string, len(a.Dims))
+		for i, d := range a.Dims {
+			dims[i] = ExprString(d)
+		}
+		decls = append(decls, fmt.Sprintf("%s(%s)", a.Name, strings.Join(dims, ", ")))
+	}
+	decls = append(decls, prog.Scalars...)
+	if len(decls) > 0 {
+		fmt.Fprintf(w, "real %s\n", strings.Join(decls, ", "))
+	}
+	printStmts(w, prog.Body, 0)
+	fmt.Fprintln(w, "end")
+}
+
+// String renders the whole program as DSL source.
+func (p *Program) String() string {
+	var sb strings.Builder
+	Fprint(&sb, p)
+	return sb.String()
+}
+
+func printStmts(w io.Writer, stmts []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch n := s.(type) {
+		case *Loop:
+			kw := "do"
+			if n.Parallel {
+				kw = "parallel do"
+			}
+			fmt.Fprintf(w, "%s%s %s = %s, %s\n", ind, kw, n.Index,
+				ExprString(n.Lo), ExprString(n.Hi))
+			printStmts(w, n.Body, depth+1)
+			fmt.Fprintf(w, "%send do\n", ind)
+		case *Assign:
+			fmt.Fprintf(w, "%s%s = %s\n", ind, ExprString(n.LHS), ExprString(n.RHS))
+		case *If:
+			fmt.Fprintf(w, "%sif %s then\n", ind, ExprString(n.Cond))
+			printStmts(w, n.Then, depth+1)
+			if len(n.Else) > 0 {
+				fmt.Fprintf(w, "%selse\n", ind)
+				printStmts(w, n.Else, depth+1)
+			}
+			fmt.Fprintf(w, "%send if\n", ind)
+		}
+	}
+}
+
+// precedence levels for printing with minimal parentheses.
+func prec(e Expr) int {
+	switch n := e.(type) {
+	case *Bin:
+		switch n.Op {
+		case OrOp:
+			return 1
+		case AndOp:
+			return 2
+		case EqOp, NeOp, LtOp, LeOp, GtOp, GeOp:
+			return 3
+		case Add, Sub:
+			return 4
+		case Mul, Div:
+			return 5
+		}
+	case *Unary:
+		return 6
+	}
+	return 7
+}
+
+// ExprString renders an expression in DSL syntax.
+func ExprString(e Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e, 0)
+	return sb.String()
+}
+
+func writeExpr(sb *strings.Builder, e Expr, outer int) {
+	p := prec(e)
+	if p < outer {
+		sb.WriteByte('(')
+	}
+	switch n := e.(type) {
+	case *Num:
+		if n.IsInt {
+			sb.WriteString(strconv.FormatInt(n.Int, 10))
+		} else {
+			s := strconv.FormatFloat(n.Val, 'g', -1, 64)
+			// Ensure float literals stay floats on re-parse.
+			if !strings.ContainsAny(s, ".eE") {
+				s += ".0"
+			}
+			sb.WriteString(s)
+		}
+	case *Ref:
+		sb.WriteString(n.Name)
+		if n.IsArray() {
+			sb.WriteByte('(')
+			for i, s := range n.Subs {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				writeExpr(sb, s, 0)
+			}
+			sb.WriteByte(')')
+		}
+	case *Bin:
+		// Left-associative: right child needs higher precedence to
+		// avoid parens only if strictly greater.
+		writeExpr(sb, n.L, p)
+		sb.WriteByte(' ')
+		sb.WriteString(n.Op.String())
+		sb.WriteByte(' ')
+		writeExpr(sb, n.R, p+1)
+	case *Unary:
+		if n.Op == '-' {
+			sb.WriteByte('-')
+		} else {
+			sb.WriteString(".not. ")
+		}
+		writeExpr(sb, n.X, p)
+	case *Call:
+		sb.WriteString(n.Name)
+		sb.WriteByte('(')
+		for i, a := range n.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, a, 0)
+		}
+		sb.WriteByte(')')
+	}
+	if p < outer {
+		sb.WriteByte(')')
+	}
+}
+
+// StmtString renders one statement (single line for assignments; loops are
+// rendered with their headers only, bodies elided) for diagnostics.
+func StmtString(s Stmt) string {
+	switch n := s.(type) {
+	case *Assign:
+		return ExprString(n.LHS) + " = " + ExprString(n.RHS)
+	case *Loop:
+		kw := "do"
+		if n.Parallel {
+			kw = "parallel do"
+		}
+		return fmt.Sprintf("%s %s = %s, %s ...", kw, n.Index, ExprString(n.Lo), ExprString(n.Hi))
+	case *If:
+		return "if " + ExprString(n.Cond) + " then ..."
+	default:
+		return "<stmt>"
+	}
+}

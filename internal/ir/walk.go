@@ -1,0 +1,218 @@
+package ir
+
+// WalkStmts calls f for every statement in stmts, pre-order, recursing into
+// loop bodies and conditional arms. Returning false from f prunes the
+// subtree.
+func WalkStmts(stmts []Stmt, f func(Stmt) bool) {
+	for _, s := range stmts {
+		walkStmt(s, f)
+	}
+}
+
+func walkStmt(s Stmt, f func(Stmt) bool) {
+	if !f(s) {
+		return
+	}
+	switch n := s.(type) {
+	case *Loop:
+		WalkStmts(n.Body, f)
+	case *If:
+		WalkStmts(n.Then, f)
+		WalkStmts(n.Else, f)
+	}
+}
+
+// WalkExprs calls f for every expression node under e, pre-order.
+func WalkExprs(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch n := e.(type) {
+	case *Bin:
+		WalkExprs(n.L, f)
+		WalkExprs(n.R, f)
+	case *Unary:
+		WalkExprs(n.X, f)
+	case *Call:
+		for _, a := range n.Args {
+			WalkExprs(a, f)
+		}
+	case *Ref:
+		for _, sub := range n.Subs {
+			WalkExprs(sub, f)
+		}
+	}
+}
+
+// Access is a single read or write of a named entity, with the reference
+// and the statement it occurs in.
+type Access struct {
+	Ref   *Ref
+	Stmt  Stmt
+	Write bool
+}
+
+// CollectAccesses gathers every scalar and array access in stmts, including
+// subscript reads, loop-bound reads and condition reads. Loop indices
+// appear as scalar reads wherever referenced.
+func CollectAccesses(stmts []Stmt) []Access {
+	var out []Access
+	WalkStmts(stmts, func(s Stmt) bool {
+		switch n := s.(type) {
+		case *Assign:
+			out = append(out, Access{Ref: n.LHS, Stmt: s, Write: true})
+			// Subscript expressions of the LHS are reads.
+			for _, sub := range n.LHS.Subs {
+				out = append(out, exprReads(sub, s)...)
+			}
+			out = append(out, exprReads(n.RHS, s)...)
+		case *Loop:
+			out = append(out, exprReads(n.Lo, s)...)
+			out = append(out, exprReads(n.Hi, s)...)
+		case *If:
+			out = append(out, exprReads(n.Cond, s)...)
+		}
+		return true
+	})
+	return out
+}
+
+func exprReads(e Expr, in Stmt) []Access {
+	var out []Access
+	WalkExprs(e, func(x Expr) {
+		if r, ok := x.(*Ref); ok {
+			out = append(out, Access{Ref: r, Stmt: in, Write: false})
+		}
+	})
+	return out
+}
+
+// WritesOf returns the names written (assigned) anywhere in stmts.
+func WritesOf(stmts []Stmt) map[string]bool {
+	w := map[string]bool{}
+	WalkStmts(stmts, func(s Stmt) bool {
+		if a, ok := s.(*Assign); ok {
+			w[a.LHS.Name] = true
+		}
+		return true
+	})
+	return w
+}
+
+// ReadsOf returns the names read anywhere in stmts (including subscripts,
+// bounds and conditions).
+func ReadsOf(stmts []Stmt) map[string]bool {
+	r := map[string]bool{}
+	for _, acc := range CollectAccesses(stmts) {
+		if !acc.Write {
+			r[acc.Ref.Name] = true
+		}
+	}
+	return r
+}
+
+// LoopIndicesOf returns the loop index names declared in stmts (including
+// nested loops).
+func LoopIndicesOf(stmts []Stmt) map[string]bool {
+	idx := map[string]bool{}
+	WalkStmts(stmts, func(s Stmt) bool {
+		if l, ok := s.(*Loop); ok {
+			idx[l.Index] = true
+		}
+		return true
+	})
+	return idx
+}
+
+// CloneExpr returns a deep copy of e.
+func CloneExpr(e Expr) Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case *Num:
+		c := *n
+		return &c
+	case *Ref:
+		c := &Ref{Name: n.Name, P: n.P}
+		for _, s := range n.Subs {
+			c.Subs = append(c.Subs, CloneExpr(s))
+		}
+		return c
+	case *Bin:
+		return &Bin{Op: n.Op, L: CloneExpr(n.L), R: CloneExpr(n.R), P: n.P}
+	case *Unary:
+		return &Unary{Op: n.Op, X: CloneExpr(n.X), P: n.P}
+	case *Call:
+		c := &Call{Name: n.Name, P: n.P}
+		for _, a := range n.Args {
+			c.Args = append(c.Args, CloneExpr(a))
+		}
+		return c
+	default:
+		panic("ir: unknown expr type in CloneExpr")
+	}
+}
+
+// CloneStmt returns a deep copy of s.
+func CloneStmt(s Stmt) Stmt {
+	switch n := s.(type) {
+	case *Assign:
+		return &Assign{LHS: CloneExpr(n.LHS).(*Ref), RHS: CloneExpr(n.RHS), P: n.P}
+	case *Loop:
+		c := &Loop{Index: n.Index, Lo: CloneExpr(n.Lo), Hi: CloneExpr(n.Hi),
+			Parallel: n.Parallel, P: n.P}
+		c.Private = append(c.Private, n.Private...)
+		c.Reductions = append(c.Reductions, n.Reductions...)
+		for _, b := range n.Body {
+			c.Body = append(c.Body, CloneStmt(b))
+		}
+		return c
+	case *If:
+		c := &If{Cond: CloneExpr(n.Cond), P: n.P}
+		for _, b := range n.Then {
+			c.Then = append(c.Then, CloneStmt(b))
+		}
+		for _, b := range n.Else {
+			c.Else = append(c.Else, CloneStmt(b))
+		}
+		return c
+	default:
+		panic("ir: unknown stmt type in CloneStmt")
+	}
+}
+
+// SubstituteExpr returns e with every scalar reference to name replaced by
+// a deep copy of repl. Array references named name are left untouched.
+func SubstituteExpr(e Expr, name string, repl Expr) Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case *Num:
+		return n
+	case *Ref:
+		if !n.IsArray() && n.Name == name {
+			return CloneExpr(repl)
+		}
+		if !n.IsArray() {
+			return n
+		}
+		c := &Ref{Name: n.Name, P: n.P}
+		for _, s := range n.Subs {
+			c.Subs = append(c.Subs, SubstituteExpr(s, name, repl))
+		}
+		return c
+	case *Bin:
+		return &Bin{Op: n.Op, L: SubstituteExpr(n.L, name, repl), R: SubstituteExpr(n.R, name, repl), P: n.P}
+	case *Unary:
+		return &Unary{Op: n.Op, X: SubstituteExpr(n.X, name, repl), P: n.P}
+	case *Call:
+		c := &Call{Name: n.Name, P: n.P}
+		for _, a := range n.Args {
+			c.Args = append(c.Args, SubstituteExpr(a, name, repl))
+		}
+		return c
+	default:
+		panic("ir: unknown expr type in SubstituteExpr")
+	}
+}

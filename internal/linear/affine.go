@@ -1,0 +1,289 @@
+// Package linear implements symbolic affine expressions and systems of
+// linear inequalities over integer variables, together with a
+// Fourier-Motzkin decision procedure.
+//
+// This is the representation the paper uses for computation partitions and
+// data communication: "local definitions and nonlocal accesses are both
+// represented by systems of symbolic linear inequalities" (§3.2.1).
+// Variables carry a kind so systems can be scanned in the paper's order:
+// symbolics, processors, loop index variables, array indices.
+package linear
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VarKind classifies a variable for the Fourier-Motzkin scan order.
+// The paper sorts variables as symbolics < processors < loop indices <
+// array indices and scans outermost-first; elimination proceeds from the
+// innermost kind (array indices) outward.
+type VarKind int
+
+const (
+	// KindSymbolic is a symbolic program constant (array extent N, a
+	// block size B, an outer sequential loop index treated as a
+	// parameter, ...).
+	KindSymbolic VarKind = iota
+	// KindProcessor identifies a processor, or in the linearized block
+	// form, a block origin u = p*B.
+	KindProcessor
+	// KindLoop is a loop index variable.
+	KindLoop
+	// KindArray is an array subscript dimension variable.
+	KindArray
+)
+
+func (k VarKind) String() string {
+	switch k {
+	case KindSymbolic:
+		return "symbolic"
+	case KindProcessor:
+		return "processor"
+	case KindLoop:
+		return "loop"
+	case KindArray:
+		return "array"
+	default:
+		return fmt.Sprintf("VarKind(%d)", int(k))
+	}
+}
+
+// Var is a named integer variable. Vars are value types and compare with ==.
+type Var struct {
+	Name string
+	Kind VarKind
+}
+
+// V is shorthand for constructing a Var.
+func V(name string, kind VarKind) Var { return Var{Name: name, Kind: kind} }
+
+// Sym constructs a symbolic-constant variable.
+func Sym(name string) Var { return Var{Name: name, Kind: KindSymbolic} }
+
+// Proc constructs a processor (block-origin) variable.
+func Proc(name string) Var { return Var{Name: name, Kind: KindProcessor} }
+
+// Loop constructs a loop-index variable.
+func Loop(name string) Var { return Var{Name: name, Kind: KindLoop} }
+
+// Arr constructs an array-subscript variable.
+func Arr(name string) Var { return Var{Name: name, Kind: KindArray} }
+
+func (v Var) String() string { return v.Name }
+
+// varLess orders variables by kind (paper scan order) and then by name.
+func varLess(a, b Var) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Name < b.Name
+}
+
+// Affine is a linear expression sum(coeff*var) + Const with int64
+// coefficients. The zero value is the constant 0. Affine values are
+// immutable from the caller's perspective: all operations return new values.
+type Affine struct {
+	terms map[Var]int64 // nonzero coefficients only
+	Const int64
+}
+
+// NewAffine returns the affine constant c.
+func NewAffine(c int64) Affine { return Affine{Const: c} }
+
+// Term returns the affine expression coeff*v.
+func Term(v Var, coeff int64) Affine {
+	a := Affine{}
+	if coeff != 0 {
+		a.terms = map[Var]int64{v: coeff}
+	}
+	return a
+}
+
+// VarExpr returns the affine expression 1*v.
+func VarExpr(v Var) Affine { return Term(v, 1) }
+
+// Coeff returns the coefficient of v (0 if absent).
+func (a Affine) Coeff(v Var) int64 { return a.terms[v] }
+
+// IsConstant reports whether a has no variable terms.
+func (a Affine) IsConstant() bool { return len(a.terms) == 0 }
+
+// NumTerms returns the number of variables with nonzero coefficients.
+func (a Affine) NumTerms() int { return len(a.terms) }
+
+// Vars returns the variables of a in scan order.
+func (a Affine) Vars() []Var {
+	vs := make([]Var, 0, len(a.terms))
+	for v := range a.terms {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return varLess(vs[i], vs[j]) })
+	return vs
+}
+
+func (a Affine) clone() Affine {
+	b := Affine{Const: a.Const}
+	if len(a.terms) > 0 {
+		b.terms = make(map[Var]int64, len(a.terms))
+		for v, c := range a.terms {
+			b.terms[v] = c
+		}
+	}
+	return b
+}
+
+func (a *Affine) setCoeff(v Var, c int64) {
+	if c == 0 {
+		delete(a.terms, v)
+		return
+	}
+	if a.terms == nil {
+		a.terms = make(map[Var]int64)
+	}
+	a.terms[v] = c
+}
+
+// Add returns a + b.
+func (a Affine) Add(b Affine) Affine {
+	r := a.clone()
+	r.Const += b.Const
+	for v, c := range b.terms {
+		r.setCoeff(v, r.Coeff(v)+c)
+	}
+	return r
+}
+
+// Sub returns a - b.
+func (a Affine) Sub(b Affine) Affine { return a.Add(b.Neg()) }
+
+// Neg returns -a.
+func (a Affine) Neg() Affine { return a.Scale(-1) }
+
+// Scale returns k*a.
+func (a Affine) Scale(k int64) Affine {
+	if k == 0 {
+		return Affine{}
+	}
+	r := Affine{Const: a.Const * k}
+	if len(a.terms) > 0 {
+		r.terms = make(map[Var]int64, len(a.terms))
+		for v, c := range a.terms {
+			r.terms[v] = c * k
+		}
+	}
+	return r
+}
+
+// AddConst returns a + c.
+func (a Affine) AddConst(c int64) Affine {
+	r := a.clone()
+	r.Const += c
+	return r
+}
+
+// Equal reports whether a and b denote the same affine expression.
+func (a Affine) Equal(b Affine) bool {
+	if a.Const != b.Const || len(a.terms) != len(b.terms) {
+		return false
+	}
+	for v, c := range a.terms {
+		if b.terms[v] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Substitute returns a with every occurrence of v replaced by repl.
+func (a Affine) Substitute(v Var, repl Affine) Affine {
+	c := a.Coeff(v)
+	if c == 0 {
+		return a
+	}
+	r := a.clone()
+	r.setCoeff(v, 0)
+	return r.Add(repl.Scale(c))
+}
+
+// Eval evaluates a under the given assignment. Missing variables evaluate
+// to zero.
+func (a Affine) Eval(env map[Var]int64) int64 {
+	s := a.Const
+	for v, c := range a.terms {
+		s += c * env[v]
+	}
+	return s
+}
+
+// String renders a in a stable human-readable form, e.g. "2*i - j + N - 1".
+func (a Affine) String() string {
+	if a.IsConstant() {
+		return fmt.Sprintf("%d", a.Const)
+	}
+	var sb strings.Builder
+	first := true
+	for _, v := range a.Vars() {
+		c := a.terms[v]
+		switch {
+		case first && c == 1:
+			sb.WriteString(v.Name)
+		case first && c == -1:
+			sb.WriteString("-" + v.Name)
+		case first:
+			fmt.Fprintf(&sb, "%d*%s", c, v.Name)
+		case c == 1:
+			sb.WriteString(" + " + v.Name)
+		case c == -1:
+			sb.WriteString(" - " + v.Name)
+		case c > 0:
+			fmt.Fprintf(&sb, " + %d*%s", c, v.Name)
+		default:
+			fmt.Fprintf(&sb, " - %d*%s", -c, v.Name)
+		}
+		first = false
+	}
+	switch {
+	case a.Const > 0:
+		fmt.Fprintf(&sb, " + %d", a.Const)
+	case a.Const < 0:
+		fmt.Fprintf(&sb, " - %d", -a.Const)
+	}
+	return sb.String()
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// contentGCD returns the gcd of all coefficients (not the constant);
+// 0 when there are no variable terms.
+func (a Affine) contentGCD() int64 {
+	var g int64
+	for _, c := range a.terms {
+		g = gcd64(g, c)
+		if g == 1 {
+			return 1
+		}
+	}
+	return g
+}
+
+// floorDiv returns floor(a/b) for b > 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

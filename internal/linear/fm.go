@@ -1,0 +1,442 @@
+package linear
+
+import "sort"
+
+// Solver limits. Fourier-Motzkin elimination can blow up quadratically per
+// step; the guards below make the solver give up (Result Unknown, treated
+// as Feasible by callers) rather than run away. The synchronization
+// optimizer then conservatively keeps the barrier.
+const (
+	maxConstraints = 6000
+	maxElimSteps   = 256
+)
+
+type canceled struct{} // panic sentinel for overflow/size bailout
+
+// mulChecked multiplies with overflow detection; on overflow it panics with
+// the canceled sentinel, unwinding to Solve which reports Unknown.
+func mulChecked(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	r := a * b
+	if r/b != a {
+		panic(canceled{})
+	}
+	return r
+}
+
+func addChecked(a, b int64) int64 {
+	r := a + b
+	if (a > 0 && b > 0 && r < 0) || (a < 0 && b < 0 && r >= 0) {
+		panic(canceled{})
+	}
+	return r
+}
+
+// scaleChecked returns k*a with overflow checking.
+func scaleChecked(a Affine, k int64) Affine {
+	r := Affine{Const: mulChecked(a.Const, k)}
+	if len(a.terms) > 0 {
+		r.terms = make(map[Var]int64, len(a.terms))
+		for v, c := range a.terms {
+			r.terms[v] = mulChecked(c, k)
+		}
+	}
+	return r
+}
+
+func addAffChecked(a, b Affine) Affine {
+	r := a.clone()
+	r.Const = addChecked(r.Const, b.Const)
+	for v, c := range b.terms {
+		r.setCoeff(v, addChecked(r.Coeff(v), c))
+	}
+	return r
+}
+
+// Solve decides feasibility of the system over the integers using
+// Fourier-Motzkin elimination with Gaussian pre-substitution of unit-
+// coefficient equalities and integer (GCD) tightening of inequalities.
+//
+// Infeasible is exact: the system has no integer solution.
+// Feasible means a rational solution exists (an integer one may not);
+// Unknown means the solver hit a resource guard. Both are treated as
+// "communication may occur" by clients, which is the sound direction.
+func (s *System) Solve() (res Result) {
+	return s.solve(true)
+}
+
+// SolveNoSubst is Solve with Gaussian equality pre-substitution disabled;
+// it exists for the ablation benchmark (DESIGN.md A1).
+func (s *System) SolveNoSubst() (res Result) {
+	return s.solve(false)
+}
+
+func (s *System) solve(subst bool) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(canceled); ok {
+				res = Unknown
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	work, ok := normalizeAll(s.Cons)
+	if !ok {
+		return Infeasible
+	}
+
+	if subst {
+		work, ok = substituteEqualities(work)
+		if !ok {
+			return Infeasible
+		}
+	}
+
+	// Split remaining equalities into inequality pairs.
+	var ineqs []Constraint
+	for _, c := range work {
+		if c.Op == OpEQ {
+			ineqs = append(ineqs,
+				Constraint{Expr: c.Expr, Op: OpGE},
+				Constraint{Expr: c.Expr.Neg(), Op: OpGE})
+		} else {
+			ineqs = append(ineqs, c)
+		}
+	}
+
+	steps := 0
+	for {
+		ineqs, ok = normalizeAll(ineqs)
+		if !ok {
+			return Infeasible
+		}
+		ineqs = dedup(ineqs)
+		v, found := pickVar(ineqs)
+		if !found {
+			// Only constant constraints remain; normalizeAll
+			// verified them all.
+			return Feasible
+		}
+		steps++
+		if steps > maxElimSteps || len(ineqs) > maxConstraints {
+			return Unknown
+		}
+		ineqs, ok = eliminate(ineqs, v)
+		if !ok {
+			return Infeasible
+		}
+	}
+}
+
+// normalizeAll GCD-normalizes every constraint with integer tightening,
+// drops trivially true constraints, and reports false if any constraint is
+// trivially false.
+func normalizeAll(cons []Constraint) ([]Constraint, bool) {
+	out := cons[:0:0]
+	for _, c := range cons {
+		g := c.Expr.contentGCD()
+		if g == 0 {
+			// Constant constraint.
+			if c.Op == OpEQ && c.Expr.Const != 0 {
+				return nil, false
+			}
+			if c.Op == OpGE && c.Expr.Const < 0 {
+				return nil, false
+			}
+			continue
+		}
+		if g > 1 {
+			e := Affine{terms: make(map[Var]int64, len(c.Expr.terms))}
+			for v, k := range c.Expr.terms {
+				e.terms[v] = k / g
+			}
+			if c.Op == OpEQ {
+				if c.Expr.Const%g != 0 {
+					// No integer solution for this equality.
+					return nil, false
+				}
+				e.Const = c.Expr.Const / g
+			} else {
+				// Integer tightening: sum >= -C becomes
+				// sum/g >= ceil(-C/g), i.e. const floor-divides.
+				e.Const = floorDiv(c.Expr.Const, g)
+			}
+			c.Expr = e
+		}
+		out = append(out, c)
+	}
+	return out, true
+}
+
+// substituteEqualities repeatedly finds an equality with a +/-1 coefficient
+// and substitutes it through the system (Gaussian elimination step). This
+// keeps coefficients small and dramatically reduces FM blowup.
+func substituteEqualities(cons []Constraint) ([]Constraint, bool) {
+	for {
+		idx, v := -1, Var{}
+		for i, c := range cons {
+			if c.Op != OpEQ {
+				continue
+			}
+			for tv, tc := range c.Expr.terms {
+				if tc == 1 || tc == -1 {
+					idx, v = i, tv
+					break
+				}
+			}
+			if idx >= 0 {
+				break
+			}
+		}
+		if idx < 0 {
+			return cons, true
+		}
+		eq := cons[idx].Expr
+		c := eq.Coeff(v)
+		// c*v + rest == 0  =>  v = -rest/c ; with c = +/-1:
+		rest := eq.clone()
+		rest.setCoeff(v, 0)
+		repl := rest.Scale(-c) // c*c = 1
+		next := make([]Constraint, 0, len(cons)-1)
+		for i, cc := range cons {
+			if i == idx {
+				continue
+			}
+			cc.Expr = cc.Expr.Substitute(v, repl)
+			next = append(next, cc)
+		}
+		var ok bool
+		next, ok = normalizeAll(next)
+		if !ok {
+			return nil, false
+		}
+		cons = next
+	}
+}
+
+// dedup removes duplicate constraints and keeps only the tightest constant
+// for constraints sharing the same linear part.
+func dedup(cons []Constraint) []Constraint {
+	type entry struct {
+		idx int
+	}
+	best := make(map[string]entry, len(cons))
+	keyBuf := make([]byte, 0, 64)
+	out := cons[:0:0]
+	for _, c := range cons {
+		keyBuf = keyBuf[:0]
+		for _, v := range c.Expr.Vars() {
+			keyBuf = append(keyBuf, v.Name...)
+			keyBuf = append(keyBuf, '#')
+			keyBuf = appendInt(keyBuf, c.Expr.terms[v])
+			keyBuf = append(keyBuf, '|')
+		}
+		k := string(keyBuf)
+		if e, dup := best[k]; dup {
+			// expr + C >= 0 means lin >= -C; smaller C is tighter.
+			if c.Expr.Const < out[e.idx].Expr.Const {
+				out[e.idx] = c
+			}
+			continue
+		}
+		best[k] = entry{idx: len(out)}
+		out = append(out, c)
+	}
+	return out
+}
+
+func appendInt(b []byte, n int64) []byte {
+	if n < 0 {
+		b = append(b, '-')
+		n = -n
+	}
+	if n == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// pickVar chooses the next variable to eliminate: innermost kind first
+// (array indices, then loop indices, then processors, then symbolics —
+// the reverse of the paper's scan order), and within a kind the variable
+// with the cheapest lower*upper pairing cost.
+func pickVar(cons []Constraint) (Var, bool) {
+	type stat struct{ lo, hi, free int }
+	stats := map[Var]*stat{}
+	for _, c := range cons {
+		for v, k := range c.Expr.terms {
+			st := stats[v]
+			if st == nil {
+				st = &stat{}
+				stats[v] = st
+			}
+			if k > 0 {
+				st.lo++
+			} else {
+				st.hi++
+			}
+		}
+	}
+	if len(stats) == 0 {
+		return Var{}, false
+	}
+	vars := make([]Var, 0, len(stats))
+	for v := range stats {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return varLess(vars[i], vars[j]) })
+	bestIdx := -1
+	bestCost := int(^uint(0) >> 1)
+	bestKind := VarKind(-1)
+	for i, v := range vars {
+		st := stats[v]
+		cost := st.lo * st.hi
+		// Prefer innermost kinds (higher VarKind) strictly, then
+		// cheapest cost within the kind.
+		if bestIdx < 0 || v.Kind > bestKind || (v.Kind == bestKind && cost < bestCost) {
+			bestIdx, bestCost, bestKind = i, cost, v.Kind
+		}
+	}
+	return vars[bestIdx], true
+}
+
+// eliminate removes v from the system by pairing every lower bound with
+// every upper bound (Fourier-Motzkin step). Returns false on a detected
+// contradiction.
+func eliminate(cons []Constraint, v Var) ([]Constraint, bool) {
+	var lower, upper, rest []Constraint
+	for _, c := range cons {
+		k := c.Expr.Coeff(v)
+		switch {
+		case k > 0:
+			lower = append(lower, c)
+		case k < 0:
+			upper = append(upper, c)
+		default:
+			rest = append(rest, c)
+		}
+	}
+	if len(lower)*len(upper) > maxConstraints {
+		panic(canceled{})
+	}
+	out := rest
+	for _, l := range lower {
+		a := l.Expr.Coeff(v) // a > 0
+		for _, u := range upper {
+			b := -u.Expr.Coeff(v) // b > 0
+			// l: a*v + alpha >= 0, u: -b*v + beta >= 0
+			// => b*alpha + a*beta >= 0
+			nl := scaleChecked(l.Expr, b)
+			nu := scaleChecked(u.Expr, a)
+			ne := addAffChecked(nl, nu)
+			// The v terms cancel: b*a + a*(-b) = 0.
+			ne.setCoeff(v, 0)
+			if ne.IsConstant() {
+				if ne.Const < 0 {
+					return nil, false
+				}
+				continue
+			}
+			out = append(out, Constraint{Expr: ne, Op: OpGE})
+		}
+	}
+	return out, true
+}
+
+// Implies reports whether the system entails c for all integer points:
+// s ∧ ¬c is infeasible. For equalities it checks both strict sides.
+// A true result is exact; false may be conservative (Unknown counts as
+// "not implied").
+func (s *System) Implies(c Constraint) bool {
+	if c.Op == OpEQ {
+		ge := Constraint{Expr: c.Expr, Op: OpGE}
+		le := Constraint{Expr: c.Expr.Neg(), Op: OpGE}
+		return s.Implies(ge) && s.Implies(le)
+	}
+	t := s.Copy()
+	t.Add(c.Negate())
+	return t.Solve() == Infeasible
+}
+
+// Project eliminates every variable for which drop returns true and returns
+// the projected system over the remaining variables. ok is false when the
+// solver hit a resource guard (result unusable) or the system is infeasible
+// (empty projection).
+func (s *System) Project(drop func(Var) bool) (proj *System, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok2 := r.(canceled); ok2 {
+				proj, ok = nil, false
+				return
+			}
+			panic(r)
+		}
+	}()
+	work, good := normalizeAll(s.Cons)
+	if !good {
+		return nil, false
+	}
+	var ineqs []Constraint
+	for _, c := range work {
+		if c.Op == OpEQ {
+			ineqs = append(ineqs,
+				Constraint{Expr: c.Expr, Op: OpGE},
+				Constraint{Expr: c.Expr.Neg(), Op: OpGE})
+		} else {
+			ineqs = append(ineqs, c)
+		}
+	}
+	steps := 0
+	for {
+		ineqs, good = normalizeAll(ineqs)
+		if !good {
+			return nil, false
+		}
+		ineqs = dedup(ineqs)
+		var target Var
+		found := false
+		for _, v := range varsOf(ineqs) {
+			if drop(v) {
+				target, found = v, true
+				break
+			}
+		}
+		if !found {
+			return &System{Cons: ineqs}, true
+		}
+		steps++
+		if steps > maxElimSteps || len(ineqs) > maxConstraints {
+			return nil, false
+		}
+		ineqs, good = eliminate(ineqs, target)
+		if !good {
+			return nil, false
+		}
+	}
+}
+
+func varsOf(cons []Constraint) []Var {
+	seen := map[Var]bool{}
+	var vs []Var
+	for _, c := range cons {
+		for v := range c.Expr.terms {
+			if !seen[v] {
+				seen[v] = true
+				vs = append(vs, v)
+			}
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return varLess(vs[i], vs[j]) })
+	return vs
+}

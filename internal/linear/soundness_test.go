@@ -1,0 +1,173 @@
+package linear
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSolveNeverRefutesWitnessedSystems is the solver's core soundness
+// property: build a random system AROUND a known integer point (every
+// generated constraint is made true at that point), so the system is
+// integer-feasible by construction — Solve must never answer Infeasible.
+// This is the direction barrier elimination depends on: Infeasible means
+// "provably no communication", so a false Infeasible would delete a
+// load-bearing barrier.
+func TestSolveNeverRefutesWitnessedSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		nv := 1 + rng.Intn(5)
+		vars := make([]Var, nv)
+		point := map[Var]int64{}
+		for i := range vars {
+			kind := VarKind(rng.Intn(4))
+			vars[i] = V(name2("w", i), kind)
+			point[vars[i]] = int64(rng.Intn(21) - 10)
+		}
+		sys := NewSystem()
+		nc := 1 + rng.Intn(8)
+		for c := 0; c < nc; c++ {
+			a := Affine{}
+			for _, v := range vars {
+				a = a.Add(Term(v, int64(rng.Intn(9)-4)))
+			}
+			val := a.Eval(point)
+			if rng.Intn(3) == 0 {
+				// Equality pinned at the witness value.
+				sys.AddEQ(a, NewAffine(val))
+				continue
+			}
+			// Inequality with slack so the witness satisfies it.
+			slack := int64(rng.Intn(5))
+			if rng.Intn(2) == 0 {
+				sys.AddGE(a, NewAffine(val-slack))
+			} else {
+				sys.AddLE(a, NewAffine(val+slack))
+			}
+		}
+		if !sys.Holds(point) {
+			t.Fatalf("trial %d: generator bug, witness does not satisfy %v", trial, sys)
+		}
+		if got := sys.Solve(); got == Infeasible {
+			t.Fatalf("trial %d: witnessed system declared Infeasible\npoint %v\nsystem %v",
+				trial, point, sys)
+		}
+		if got := sys.SolveNoSubst(); got == Infeasible {
+			t.Fatalf("trial %d: witnessed system declared Infeasible by SolveNoSubst\nsystem %v",
+				trial, sys)
+		}
+	}
+}
+
+// TestImpliesSoundness: if Implies(c) then every enumerated point of the
+// (boxed) system satisfies c.
+func TestImpliesSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		nv := 2
+		vars := []Var{Loop(name2("y", 0)), Loop(name2("y", 1))}
+		sys := randomSystem(rng, nv, 3)
+		const B = 3
+		for _, v := range vars {
+			sys.AddRange(v, NewAffine(-B), NewAffine(B))
+		}
+		// Candidate implication: random inequality.
+		cand := Affine{}
+		for _, v := range vars {
+			cand = cand.Add(Term(v, int64(rng.Intn(5)-2)))
+		}
+		c := GE(cand, NewAffine(int64(rng.Intn(7)-3)))
+		if !sys.Implies(c) {
+			continue
+		}
+		checked++
+		env := map[Var]int64{}
+		for x := int64(-B); x <= B; x++ {
+			for y := int64(-B); y <= B; y++ {
+				env[vars[0]], env[vars[1]] = x, y
+				if sys.Holds(env) && !c.Holds(env) {
+					t.Fatalf("trial %d: Implies claimed %v but point (%d,%d) of %v violates it",
+						trial, c, x, y, sys)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no implications found to check (acceptable, generator-dependent)")
+	}
+}
+
+// TestProjectionSoundness: every enumerated point of the original system,
+// restricted to the kept variables, must satisfy the projection.
+func TestProjectionSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 300; trial++ {
+		keep := Loop("keep")
+		drop := Loop("dropv")
+		sys := NewSystem()
+		for c := 0; c < 3; c++ {
+			a := Term(keep, int64(rng.Intn(5)-2)).Add(Term(drop, int64(rng.Intn(5)-2))).
+				AddConst(int64(rng.Intn(9) - 4))
+			sys.Add(Constraint{Expr: a, Op: OpGE})
+		}
+		const B = 4
+		sys.AddRange(keep, NewAffine(-B), NewAffine(B))
+		sys.AddRange(drop, NewAffine(-B), NewAffine(B))
+		proj, ok := sys.Project(func(v Var) bool { return v == drop })
+		if !ok {
+			continue // infeasible or bailed out; nothing to check
+		}
+		env := map[Var]int64{}
+		for x := int64(-B); x <= B; x++ {
+			for y := int64(-B); y <= B; y++ {
+				env[keep], env[drop] = x, y
+				if sys.Holds(env) {
+					penv := map[Var]int64{keep: x}
+					if !proj.Holds(penv) {
+						t.Fatalf("trial %d: point (%d,%d) in system but keep=%d not in projection %v",
+							trial, x, y, x, proj)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuickAffineAlgebra checks ring axioms of the affine layer with
+// testing/quick.
+func TestQuickAffineAlgebra(t *testing.T) {
+	x, y := Loop("qx"), Loop("qy")
+	mk := func(a, b, c int8) Affine {
+		return Term(x, int64(a)).Add(Term(y, int64(b))).AddConst(int64(c))
+	}
+	comm := func(a1, b1, c1, a2, b2, c2 int8) bool {
+		l, r := mk(a1, b1, c1), mk(a2, b2, c2)
+		return l.Add(r).Equal(r.Add(l))
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("Add not commutative: %v", err)
+	}
+	inv := func(a, b, c int8) bool {
+		l := mk(a, b, c)
+		return l.Sub(l).IsConstant() && l.Sub(l).Const == 0
+	}
+	if err := quick.Check(inv, nil); err != nil {
+		t.Errorf("Sub not inverse: %v", err)
+	}
+	distr := func(a, b, c int8, k int8) bool {
+		l := mk(a, b, c)
+		return l.Scale(int64(k)).Add(l.Scale(int64(k))).Equal(l.Scale(2 * int64(k)))
+	}
+	if err := quick.Check(distr, nil); err != nil {
+		t.Errorf("Scale not additive: %v", err)
+	}
+	evalLinear := func(a, b, c int8, px, py int8) bool {
+		l := mk(a, b, c)
+		env := map[Var]int64{x: int64(px), y: int64(py)}
+		return l.Eval(env) == int64(a)*int64(px)+int64(b)*int64(py)+int64(c)
+	}
+	if err := quick.Check(evalLinear, nil); err != nil {
+		t.Errorf("Eval wrong: %v", err)
+	}
+}

@@ -1,0 +1,392 @@
+// Package parallel implements the parallelizer pass: it marks loops whose
+// iterations can execute concurrently, privatizes scalars and recognizes
+// scalar reductions. This plays the role of SUIF's parallelism detection
+// phase ("a parallelism and locality analysis phase identifies and
+// optimizes loop-level parallelism", §4) that runs before the paper's
+// synchronization optimizer.
+//
+// Only outermost parallelizable loops are marked: the SPMD computation
+// partition distributes exactly one loop level, and inner loops then run
+// sequentially within each processor.
+package parallel
+
+import (
+	"fmt"
+
+	"repro/internal/deps"
+	"repro/internal/ir"
+)
+
+// Result reports what the pass did.
+type Result struct {
+	// Parallel lists loops marked (or confirmed) parallel.
+	Parallel []*ir.Loop
+	// Serial maps loops that stay sequential to the blocking reason.
+	Serial map[*ir.Loop]string
+	// deadPrivates: scalars safe to privatize (never read outside the
+	// loops privatizing them).
+	deadPrivates map[string]bool
+}
+
+// Parallelize analyzes every loop in the program, marking outermost
+// parallelizable loops (mutating the IR in place: Loop.Parallel,
+// Loop.Private, Loop.Reductions). Loops already annotated `parallel do` in
+// the source are trusted but still get privatization/reduction info.
+//
+// A scalar may only be privatized when its value is dead after the loop:
+// the paper notes privatized assignments "may need to be finalized
+// following the SPMD region" [15,27]; we avoid finalization entirely by
+// demoting live-out privates (read outside every loop that would privatize
+// them) back to blockers, keeping those loops serial.
+func Parallelize(ctx *deps.Context) *Result {
+	res := &Result{Serial: map[*ir.Loop]string{}}
+	res.deadPrivates = globallyDeadPrivates(ctx.Prog)
+	visit(ctx, ctx.Prog.Body, nil, res)
+	return res
+}
+
+// globallyDeadPrivates returns the scalars that are privatization
+// candidates in at least one loop and are never read outside the loops
+// that would privatize them — the safe-to-privatize set.
+func globallyDeadPrivates(prog *ir.Program) map[string]bool {
+	// Loops where each scalar is a local privatization candidate.
+	candLoops := map[string][]*ir.Loop{}
+	ir.WalkStmts(prog.Body, func(s ir.Stmt) bool {
+		l, ok := s.(*ir.Loop)
+		if !ok {
+			return true
+		}
+		for name := range scalarWrites(l.Body) {
+			if _, isRed := recognizeReduction(l.Body, name); isRed {
+				continue
+			}
+			if definedBeforeUse(l.Body, name) {
+				candLoops[name] = append(candLoops[name], l)
+			}
+		}
+		return true
+	})
+	dead := map[string]bool{}
+	for name, loops := range candLoops {
+		if !readOutside(prog.Body, name, loops) {
+			dead[name] = true
+		}
+	}
+	return dead
+}
+
+// readOutside reports whether scalar name is read somewhere in stmts that
+// is not inside any of the given loops.
+func readOutside(stmts []ir.Stmt, name string, inside []*ir.Loop) bool {
+	isInside := map[*ir.Loop]bool{}
+	for _, l := range inside {
+		isInside[l] = true
+	}
+	var walk func(list []ir.Stmt) bool
+	walk = func(list []ir.Stmt) bool {
+		for _, s := range list {
+			switch n := s.(type) {
+			case *ir.Assign:
+				if exprReadsScalar(n.RHS, name) || refSubsRead(n.LHS, name) {
+					return true
+				}
+			case *ir.Loop:
+				if exprReadsScalar(n.Lo, name) || exprReadsScalar(n.Hi, name) {
+					return true
+				}
+				if isInside[n] {
+					continue
+				}
+				if walk(n.Body) {
+					return true
+				}
+			case *ir.If:
+				if exprReadsScalar(n.Cond, name) {
+					return true
+				}
+				if walk(n.Then) || walk(n.Else) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(stmts)
+}
+
+func visit(ctx *deps.Context, stmts []ir.Stmt, outer []*ir.Loop, res *Result) {
+	for _, s := range stmts {
+		switch n := s.(type) {
+		case *ir.Loop:
+			if tryParallelize(ctx, n, outer, res) {
+				res.Parallel = append(res.Parallel, n)
+				// Do not recurse: inner loops execute
+				// sequentially within each processor.
+				continue
+			}
+			visit(ctx, n.Body, append(outer, n), res)
+		case *ir.If:
+			visit(ctx, n.Then, outer, res)
+			visit(ctx, n.Else, outer, res)
+		}
+	}
+}
+
+// tryParallelize decides whether loop can run in parallel, filling Private
+// and Reductions on success. An explicit `parallel do` annotation is
+// honored even if the analysis would be conservative, but its scalar
+// classification is still computed (needed for correct code generation).
+func tryParallelize(ctx *deps.Context, loop *ir.Loop, outer []*ir.Loop, res *Result) bool {
+	private, reductions, blocker := classifyScalars(loop, res.deadPrivates)
+	if blocker != "" && !loop.Parallel {
+		res.Serial[loop] = blocker
+		return false
+	}
+	if !loop.Parallel {
+		if ds := ctx.CarriedByLoop(loop, outer); len(ds) > 0 {
+			res.Serial[loop] = "loop-carried " + ds[0].String()
+			return false
+		}
+	}
+	loop.Parallel = true
+	loop.Private = private
+	loop.Reductions = reductions
+	return true
+}
+
+// classifyScalars examines every scalar written in the loop body and
+// decides whether it is a recognized reduction, privatizable (only if in
+// the globally-dead set), or a blocker.
+func classifyScalars(loop *ir.Loop, dead map[string]bool) (private []string, reductions []ir.Reduction, blocker string) {
+	written := scalarWrites(loop.Body)
+	for _, s := range sortedKeys(written) {
+		if red, ok := recognizeReduction(loop.Body, s); ok {
+			reductions = append(reductions, red)
+			continue
+		}
+		if definedBeforeUse(loop.Body, s) && dead[s] {
+			private = append(private, s)
+			continue
+		}
+		return nil, nil, fmt.Sprintf("scalar %s carries a cross-iteration dependence (not privatizable, not a reduction)", s)
+	}
+	return private, reductions, ""
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// scalarWrites returns the names of scalars assigned anywhere in stmts.
+func scalarWrites(stmts []ir.Stmt) map[string]bool {
+	w := map[string]bool{}
+	ir.WalkStmts(stmts, func(s ir.Stmt) bool {
+		if a, ok := s.(*ir.Assign); ok && !a.LHS.IsArray() {
+			w[a.LHS.Name] = true
+		}
+		return true
+	})
+	return w
+}
+
+// recognizeReduction checks whether every access to scalar s within stmts
+// is a reduction update `s = s op expr` with a consistent operator and expr
+// free of s. The paper needs reductions recognized so reduction loops can
+// still join SPMD regions.
+func recognizeReduction(stmts []ir.Stmt, s string) (ir.Reduction, bool) {
+	var op ir.BinKind
+	seen := false
+	okAll := true
+	ir.WalkStmts(stmts, func(st ir.Stmt) bool {
+		a, isAssign := st.(*ir.Assign)
+		if !isAssign {
+			// Reads of s in loop bounds or conditions disqualify.
+			if stmtReadsScalar(st, s) {
+				okAll = false
+			}
+			return okAll
+		}
+		if a.LHS.IsArray() || a.LHS.Name != s {
+			// Any read of s in an unrelated statement disqualifies.
+			if exprReadsScalar(a.RHS, s) || refSubsRead(a.LHS, s) {
+				okAll = false
+			}
+			return okAll
+		}
+		// a is `s = ...`: must be s op expr.
+		kind, rest, ok := splitReduction(a.RHS, s)
+		if !ok {
+			okAll = false
+			return false
+		}
+		if exprReadsScalar(rest, s) {
+			okAll = false
+			return false
+		}
+		if seen && kind != op {
+			okAll = false
+			return false
+		}
+		op, seen = kind, true
+		return true
+	})
+	if !okAll || !seen {
+		return ir.Reduction{}, false
+	}
+	return ir.Reduction{Var: s, Op: op}, true
+}
+
+// splitReduction matches rhs against `s + e`, `e + s`, `s * e`, `e * s`,
+// `min(s,e)`, `max(s,e)` (either argument order) and returns the operator
+// and the non-s operand.
+func splitReduction(rhs ir.Expr, s string) (ir.BinKind, ir.Expr, bool) {
+	isS := func(e ir.Expr) bool {
+		r, ok := e.(*ir.Ref)
+		return ok && !r.IsArray() && r.Name == s
+	}
+	switch n := rhs.(type) {
+	case *ir.Bin:
+		if n.Op != ir.Add && n.Op != ir.Mul {
+			return 0, nil, false
+		}
+		if isS(n.L) {
+			return n.Op, n.R, true
+		}
+		if isS(n.R) {
+			return n.Op, n.L, true
+		}
+	case *ir.Call:
+		var kind ir.BinKind
+		switch n.Name {
+		case "min":
+			kind = ir.MinOp
+		case "max":
+			kind = ir.MaxOp
+		default:
+			return 0, nil, false
+		}
+		if len(n.Args) == 2 {
+			if isS(n.Args[0]) {
+				return kind, n.Args[1], true
+			}
+			if isS(n.Args[1]) {
+				return kind, n.Args[0], true
+			}
+		}
+	}
+	return 0, nil, false
+}
+
+func exprReadsScalar(e ir.Expr, s string) bool {
+	found := false
+	ir.WalkExprs(e, func(x ir.Expr) {
+		if r, ok := x.(*ir.Ref); ok && !r.IsArray() && r.Name == s {
+			found = true
+		}
+	})
+	return found
+}
+
+func refSubsRead(r *ir.Ref, s string) bool {
+	for _, sub := range r.Subs {
+		if exprReadsScalar(sub, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtReadsScalar(st ir.Stmt, s string) bool {
+	switch n := st.(type) {
+	case *ir.Loop:
+		return exprReadsScalar(n.Lo, s) || exprReadsScalar(n.Hi, s)
+	case *ir.If:
+		return exprReadsScalar(n.Cond, s)
+	default:
+		return false
+	}
+}
+
+// defState is the three-valued definition state used by the
+// definitely-defined dataflow below.
+type defState int
+
+const (
+	undef defState = iota
+	maybe
+	defined
+)
+
+// definedBeforeUse reports whether scalar s is definitely assigned before
+// any read on every path through one iteration of the loop body — the
+// privatizability condition ("The most common case involves assignments to
+// privatizable variables", §2.3). Conditional or zero-trip-loop writes
+// only reach the `maybe` state, which does not license a later read.
+func definedBeforeUse(stmts []ir.Stmt, s string) bool {
+	st, ok := scanDef(stmts, s, undef)
+	_ = st
+	return ok
+}
+
+// scanDef walks statements in order, tracking the definition state of s.
+// It returns false as soon as a read of s happens while s is not
+// definitely defined.
+func scanDef(stmts []ir.Stmt, s string, in defState) (defState, bool) {
+	state := in
+	for _, stmt := range stmts {
+		switch n := stmt.(type) {
+		case *ir.Assign:
+			// RHS and subscript reads happen before the write.
+			if state != defined && (exprReadsScalar(n.RHS, s) || refSubsRead(n.LHS, s)) {
+				return state, false
+			}
+			if !n.LHS.IsArray() && n.LHS.Name == s {
+				state = defined
+			}
+		case *ir.Loop:
+			if state != defined && (exprReadsScalar(n.Lo, s) || exprReadsScalar(n.Hi, s)) {
+				return state, false
+			}
+			// Body may execute zero times: writes inside promote
+			// undef only to maybe.
+			out, ok := scanDef(n.Body, s, state)
+			if !ok {
+				return state, false
+			}
+			if out == defined && state != defined {
+				state = maybe
+			}
+		case *ir.If:
+			if state != defined && exprReadsScalar(n.Cond, s) {
+				return state, false
+			}
+			thenOut, ok := scanDef(n.Then, s, state)
+			if !ok {
+				return state, false
+			}
+			elseOut, ok := scanDef(n.Else, s, state)
+			if !ok {
+				return state, false
+			}
+			switch {
+			case thenOut == defined && elseOut == defined:
+				state = defined
+			case thenOut == defined || elseOut == defined ||
+				thenOut == maybe || elseOut == maybe:
+				if state != defined {
+					state = maybe
+				}
+			}
+		}
+	}
+	return state, true
+}

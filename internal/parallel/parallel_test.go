@@ -1,0 +1,334 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/deps"
+	"repro/internal/ir"
+	"repro/internal/parser"
+)
+
+func analyze(t *testing.T, src string) (*ir.Program, *Result) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res := Parallelize(deps.NewContext(prog, 1))
+	return prog, res
+}
+
+func TestIndependentLoopParallelized(t *testing.T) {
+	prog, res := analyze(t, `
+program p
+param N
+real A(N), B(N)
+do i = 1, N
+  B(i) = A(i) * 2.0
+end do
+end
+`)
+	loop := prog.Body[0].(*ir.Loop)
+	if !loop.Parallel {
+		t.Fatal("independent loop not parallelized")
+	}
+	if len(res.Parallel) != 1 {
+		t.Errorf("Parallel = %v", res.Parallel)
+	}
+}
+
+func TestRecurrenceStaysSerial(t *testing.T) {
+	prog, res := analyze(t, `
+program p
+param N
+real A(N)
+do i = 2, N
+  A(i) = A(i - 1) + 1.0
+end do
+end
+`)
+	loop := prog.Body[0].(*ir.Loop)
+	if loop.Parallel {
+		t.Fatal("recurrence was parallelized")
+	}
+	if reason := res.Serial[loop]; reason == "" {
+		t.Error("no blocking reason recorded")
+	}
+}
+
+func TestOutermostPreferred(t *testing.T) {
+	prog, _ := analyze(t, `
+program p
+param N, M
+real A(N, M)
+do i = 1, N
+  do j = 1, M
+    A(i, j) = 1.0
+  end do
+end do
+end
+`)
+	outer := prog.Body[0].(*ir.Loop)
+	inner := outer.Body[0].(*ir.Loop)
+	if !outer.Parallel {
+		t.Error("outer loop should be parallel")
+	}
+	if inner.Parallel {
+		t.Error("inner loop should stay sequential inside the parallel loop")
+	}
+}
+
+func TestInnerParallelWhenOuterSerial(t *testing.T) {
+	prog, _ := analyze(t, `
+program p
+param N, M
+real A(N, M)
+do k = 2, M
+  do i = 1, N
+    A(i, k) = A(i, k - 1) + 1.0
+  end do
+end do
+end
+`)
+	outer := prog.Body[0].(*ir.Loop)
+	inner := outer.Body[0].(*ir.Loop)
+	if outer.Parallel {
+		t.Error("k loop carries a dependence; must stay serial")
+	}
+	if !inner.Parallel {
+		t.Error("i loop is independent within each k; should be parallel")
+	}
+}
+
+func TestPrivatizableScalar(t *testing.T) {
+	prog, _ := analyze(t, `
+program p
+param N
+real A(N), t
+do i = 1, N
+  t = A(i) * 2.0
+  A(i) = t + 1.0
+end do
+end
+`)
+	loop := prog.Body[0].(*ir.Loop)
+	if !loop.Parallel {
+		t.Fatal("loop with privatizable temp not parallelized")
+	}
+	if len(loop.Private) != 1 || loop.Private[0] != "t" {
+		t.Errorf("Private = %v, want [t]", loop.Private)
+	}
+}
+
+func TestUseBeforeDefBlocks(t *testing.T) {
+	prog, res := analyze(t, `
+program p
+param N
+real A(N), t
+do i = 1, N
+  A(i) = t + 1.0
+  t = A(i)
+end do
+end
+`)
+	loop := prog.Body[0].(*ir.Loop)
+	if loop.Parallel {
+		t.Fatal("use-before-def scalar should block parallelization")
+	}
+	if reason := res.Serial[loop]; reason == "" {
+		t.Error("no reason recorded")
+	}
+}
+
+func TestConditionalWriteNotPrivatizable(t *testing.T) {
+	prog, _ := analyze(t, `
+program p
+param N
+real A(N), t
+do i = 1, N
+  if i > 1 then
+    t = A(i)
+  end if
+  A(i) = t
+end do
+end
+`)
+	loop := prog.Body[0].(*ir.Loop)
+	if loop.Parallel {
+		t.Error("conditionally-defined scalar must not be privatized")
+	}
+}
+
+func TestBothBranchesDefine(t *testing.T) {
+	prog, _ := analyze(t, `
+program p
+param N
+real A(N), t
+do i = 1, N
+  if i > 1 then
+    t = A(i)
+  else
+    t = 0.0
+  end if
+  A(i) = t
+end do
+end
+`)
+	loop := prog.Body[0].(*ir.Loop)
+	if !loop.Parallel {
+		t.Fatal("scalar defined on both branches should privatize")
+	}
+	if len(loop.Private) != 1 || loop.Private[0] != "t" {
+		t.Errorf("Private = %v", loop.Private)
+	}
+}
+
+func TestSumReductionRecognized(t *testing.T) {
+	prog, _ := analyze(t, `
+program p
+param N
+real A(N), s
+do i = 1, N
+  s = s + A(i)
+end do
+end
+`)
+	loop := prog.Body[0].(*ir.Loop)
+	if !loop.Parallel {
+		t.Fatal("sum reduction loop not parallelized")
+	}
+	if len(loop.Reductions) != 1 || loop.Reductions[0].Var != "s" || loop.Reductions[0].Op != ir.Add {
+		t.Errorf("Reductions = %v", loop.Reductions)
+	}
+}
+
+func TestMaxReductionRecognized(t *testing.T) {
+	prog, _ := analyze(t, `
+program p
+param N
+real A(N), s
+do i = 1, N
+  s = max(s, A(i))
+end do
+end
+`)
+	loop := prog.Body[0].(*ir.Loop)
+	if !loop.Parallel || len(loop.Reductions) != 1 || loop.Reductions[0].Op != ir.MaxOp {
+		t.Fatalf("max reduction not recognized: %v", loop.Reductions)
+	}
+}
+
+func TestMixedOpsNotReduction(t *testing.T) {
+	prog, _ := analyze(t, `
+program p
+param N
+real A(N), s
+do i = 1, N
+  s = s + A(i)
+  s = s * 2.0
+end do
+end
+`)
+	loop := prog.Body[0].(*ir.Loop)
+	if loop.Parallel {
+		t.Error("mixed-operator updates must not parallelize as a reduction")
+	}
+}
+
+func TestReductionValueUsedInsideNotReduction(t *testing.T) {
+	prog, _ := analyze(t, `
+program p
+param N
+real A(N), s
+do i = 1, N
+  s = s + A(i)
+  A(i) = s
+end do
+end
+`)
+	loop := prog.Body[0].(*ir.Loop)
+	if loop.Parallel {
+		t.Error("reduction variable read in the loop body is not a reduction")
+	}
+}
+
+func TestExplicitAnnotationHonored(t *testing.T) {
+	// `parallel do` in the source survives even when the analysis would
+	// be conservative (the programmer asserts independence).
+	prog, _ := analyze(t, `
+program p
+param N
+real A(N)
+parallel do i = 2, N
+  A(i) = A(i - 1) + 1.0
+end do
+end
+`)
+	loop := prog.Body[0].(*ir.Loop)
+	if !loop.Parallel {
+		t.Error("explicit annotation dropped")
+	}
+}
+
+func TestWriteOnlyScalarPrivatized(t *testing.T) {
+	prog, _ := analyze(t, `
+program p
+param N
+real A(N), t
+do i = 1, N
+  t = A(i)
+end do
+end
+`)
+	loop := prog.Body[0].(*ir.Loop)
+	if !loop.Parallel {
+		t.Fatal("write-only scalar should not block")
+	}
+	if len(loop.Private) != 1 || loop.Private[0] != "t" {
+		t.Errorf("Private = %v", loop.Private)
+	}
+}
+
+func TestReductionPlusPrivateTogether(t *testing.T) {
+	prog, _ := analyze(t, `
+program p
+param N
+real A(N), s, t
+do i = 1, N
+  t = A(i) * A(i)
+  s = s + t
+end do
+end
+`)
+	loop := prog.Body[0].(*ir.Loop)
+	if !loop.Parallel {
+		t.Fatal("loop should parallelize")
+	}
+	if len(loop.Private) != 1 || loop.Private[0] != "t" {
+		t.Errorf("Private = %v", loop.Private)
+	}
+	if len(loop.Reductions) != 1 || loop.Reductions[0].Var != "s" {
+		t.Errorf("Reductions = %v", loop.Reductions)
+	}
+}
+
+func TestZeroTripInnerLoopWriteIsMaybe(t *testing.T) {
+	// t is written only inside an inner loop that may run zero times, so
+	// the later read is not definitely-defined.
+	prog, _ := analyze(t, `
+program p
+param N, M
+real A(N), t
+do i = 1, N
+  do j = 1, M - M
+    t = 1.0
+  end do
+  A(i) = t
+end do
+end
+`)
+	loop := prog.Body[0].(*ir.Loop)
+	if loop.Parallel {
+		t.Error("write under a possibly-zero-trip loop must not privatize")
+	}
+}

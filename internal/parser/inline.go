@@ -1,0 +1,198 @@
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Subroutines. The paper's prototype "does not include ... interprocedural
+// analysis" and names it the main enhancement ("Interprocedural analysis
+// can enhance synchronization optimizations for these programs by creating
+// larger SPMD regions", §4). We provide the standard compiler answer of
+// that era: full inlining at the front end, so a modularized program
+// reaches the optimizer as one flat region and compiles to exactly the
+// schedule its hand-inlined form would get.
+//
+// Grammar (between the declarations and the main body):
+//
+//	sub NAME(p1, p2, ...)     # integer value parameters
+//	  ...statements...
+//	end sub
+//
+//	call NAME(expr, ...)      # expands in place
+//
+// Subroutines see the program's arrays and scalars directly (Fortran
+// COMMON style); parameters are integer expressions (loop bounds, offsets)
+// substituted by value. A subroutine may call previously defined
+// subroutines only, which structurally rules out recursion.
+
+// proc is a parsed subroutine awaiting inline expansion.
+type proc struct {
+	name   string
+	params []string
+	body   []ir.Stmt
+	pos    ir.Pos
+}
+
+// parseSub parses `sub NAME(params...) ... end sub` (the `sub` keyword is
+// current).
+func (p *parser) parseSub() (*proc, error) {
+	pos := p.tok.pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokIdent {
+		return nil, p.errorf("expected subroutine name, found %s", p.describe())
+	}
+	pr := &proc{name: p.tok.text, pos: pos}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for p.tok.kind != tokRParen {
+			if p.tok.kind != tokIdent {
+				return nil, p.errorf("expected parameter name, found %s", p.describe())
+			}
+			pr.params = append(pr.params, p.tok.text)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmts()
+	if err != nil {
+		return nil, err
+	}
+	pr.body = body
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("sub"); err != nil {
+		return nil, err
+	}
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// parseCall parses `call NAME(args...)` and returns the inlined statements.
+func (p *parser) parseCall() ([]ir.Stmt, error) {
+	pos := p.tok.pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokIdent {
+		return nil, p.errorf("expected subroutine name after \"call\", found %s", p.describe())
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var args []ir.Expr
+	if p.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for p.tok.kind != tokRParen {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.endOfStmt(); err != nil {
+		return nil, err
+	}
+	pr, ok := p.procs[name]
+	if !ok {
+		return nil, &Error{Pos: pos, Msg: fmt.Sprintf(
+			"call to undefined subroutine %s (subroutines must be defined before use)", name)}
+	}
+	if len(args) != len(pr.params) {
+		return nil, &Error{Pos: pos, Msg: fmt.Sprintf(
+			"subroutine %s takes %d argument(s), got %d", name, len(pr.params), len(args))}
+	}
+	return p.inline(pr, args), nil
+}
+
+// inline clones the subroutine body, renames its loop indices to fresh
+// names (avoiding capture by call-site indices), and substitutes the
+// arguments for the parameters.
+func (p *parser) inline(pr *proc, args []ir.Expr) []ir.Stmt {
+	p.inlineSeq++
+	suffix := fmt.Sprintf("_c%d", p.inlineSeq)
+
+	body := make([]ir.Stmt, len(pr.body))
+	for i, s := range pr.body {
+		body[i] = ir.CloneStmt(s)
+	}
+	// Rename every loop index declared in the body.
+	for idx := range ir.LoopIndicesOf(body) {
+		renameIndex(body, idx, idx+suffix)
+	}
+	// Substitute parameters by value.
+	for i, param := range pr.params {
+		substStmts(body, param, args[i])
+	}
+	return body
+}
+
+// renameIndex renames a loop index and all its scalar uses.
+func renameIndex(stmts []ir.Stmt, from, to string) {
+	ir.WalkStmts(stmts, func(s ir.Stmt) bool {
+		if l, ok := s.(*ir.Loop); ok && l.Index == from {
+			l.Index = to
+		}
+		return true
+	})
+	substStmts(stmts, from, ir.NewRef(to))
+}
+
+// substStmts substitutes a scalar name throughout statement expressions.
+func substStmts(stmts []ir.Stmt, name string, repl ir.Expr) {
+	for _, s := range stmts {
+		switch n := s.(type) {
+		case *ir.Assign:
+			for i, sub := range n.LHS.Subs {
+				n.LHS.Subs[i] = ir.SubstituteExpr(sub, name, repl)
+			}
+			n.RHS = ir.SubstituteExpr(n.RHS, name, repl)
+		case *ir.Loop:
+			n.Lo = ir.SubstituteExpr(n.Lo, name, repl)
+			n.Hi = ir.SubstituteExpr(n.Hi, name, repl)
+			substStmts(n.Body, name, repl)
+		case *ir.If:
+			n.Cond = ir.SubstituteExpr(n.Cond, name, repl)
+			substStmts(n.Then, name, repl)
+			substStmts(n.Else, name, repl)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+const subSrc = `
+program modular
+param N, T
+real A(N), B(N)
+sub smooth(lo, hi)
+  do i = lo, hi
+    B(i) = 0.5 * (A(i - 1) + A(i + 1))
+  end do
+end sub
+sub copyback(lo, hi)
+  do i = lo, hi
+    A(i) = B(i)
+  end do
+end sub
+sub step(lo, hi)
+  call smooth(lo, hi)
+  call copyback(lo, hi)
+end sub
+do k = 1, T
+  call step(2, N - 1)
+end do
+end
+`
+
+func TestSubroutineInlining(t *testing.T) {
+	prog, err := Parse(subSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	kloop := prog.Body[0].(*ir.Loop)
+	if len(kloop.Body) != 2 {
+		t.Fatalf("inlined body has %d statements, want 2 loops\n%s", len(kloop.Body), prog)
+	}
+	l1, ok1 := kloop.Body[0].(*ir.Loop)
+	l2, ok2 := kloop.Body[1].(*ir.Loop)
+	if !ok1 || !ok2 {
+		t.Fatalf("inlined statements are not loops:\n%s", prog)
+	}
+	// Loop indices must have been renamed apart.
+	if l1.Index == l2.Index {
+		t.Errorf("inlined loop indices collide: %s", l1.Index)
+	}
+	// Arguments substituted into the bounds.
+	if got := ir.ExprString(l1.Lo); got != "2" {
+		t.Errorf("lo = %q, want 2", got)
+	}
+	if got := ir.ExprString(l1.Hi); got != "N - 1" {
+		t.Errorf("hi = %q, want N - 1", got)
+	}
+}
+
+func TestSubroutineCallSiteArgsExpressions(t *testing.T) {
+	src := `
+program m2
+param N
+real A(N)
+sub fill(lo, hi, base)
+  do i = lo, hi
+    A(i) = 1.0 * base + 1.0 * i
+  end do
+end sub
+do k = 1, 2
+  call fill(1 + (k - 1) * (N / 2), k * (N / 2), k)
+end do
+end
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	kloop := prog.Body[0].(*ir.Loop)
+	loop := kloop.Body[0].(*ir.Loop)
+	if !strings.Contains(ir.ExprString(loop.Lo), "k - 1") {
+		t.Errorf("call-site expression not substituted: %s", ir.ExprString(loop.Lo))
+	}
+}
+
+func TestSubroutineErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"undefined", `
+program e1
+real s
+call nosuch(1)
+s = 1.0
+end
+`, "undefined subroutine"},
+		{"arity", `
+program e2
+real s
+sub f(a)
+  s = 1.0 * a
+end sub
+call f(1, 2)
+end
+`, "takes 1 argument"},
+		{"redefined", `
+program e3
+real s
+sub f()
+  s = 1.0
+end sub
+sub f()
+  s = 2.0
+end sub
+call f()
+end
+`, "redefined"},
+		{"forward-call", `
+program e4
+real s
+sub f()
+  call g()
+end sub
+sub g()
+  s = 1.0
+end sub
+call f()
+end
+`, "undefined subroutine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+func TestSubroutineNestedCallsUnderLoops(t *testing.T) {
+	src := `
+program m3
+param N
+real A(N)
+sub inc(x)
+  A(x) = A(x) + 1.0
+end sub
+do i = 1, N - 1
+  if i > 1 then
+    call inc(i)
+  end if
+end do
+end
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	loop := prog.Body[0].(*ir.Loop)
+	iff := loop.Body[0].(*ir.If)
+	asg, ok := iff.Then[0].(*ir.Assign)
+	if !ok {
+		t.Fatalf("inlined call not an assignment: %T", iff.Then[0])
+	}
+	if got := ir.ExprString(asg.LHS); got != "A(i)" {
+		t.Errorf("LHS = %q, want A(i)", got)
+	}
+}

@@ -1,0 +1,314 @@
+// Package parser implements the mini-Fortran DSL front end: a lexer and
+// recursive-descent parser producing ir.Program values. The DSL covers the
+// program shapes the paper's optimizer consumes: DO loop nests with affine
+// bounds and subscripts, assignments, conditionals, and explicit
+// `parallel do` annotations (normally supplied by the parallelizer pass).
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIdent
+	tokInt
+	tokFloat
+	tokLParen
+	tokRParen
+	tokComma
+	tokAssign // =
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokEq // ==
+	tokNe // !=
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokAnd // .and.
+	tokOr  // .or.
+	tokNot // .not.
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of file"
+	case tokNewline:
+		return "newline"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokFloat:
+		return "float"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokAssign:
+		return "'='"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokEq:
+		return "'=='"
+	case tokNe:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	case tokAnd:
+		return "'.and.'"
+	case tokOr:
+		return "'.or.'"
+	case tokNot:
+		return "'.not.'"
+	default:
+		return fmt.Sprintf("tok(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	pos  ir.Pos
+}
+
+// Error is a lexical or syntactic diagnostic with a source position.
+type Error struct {
+	Pos ir.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) errorf(pos ir.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) advance() byte {
+	b := lx.src[lx.off]
+	lx.off++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isIdentPart(b byte) bool { return isIdentStart(b) || (b >= '0' && b <= '9') }
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+// next scans the next token.
+func (lx *lexer) next() (token, error) {
+	// Skip spaces, tabs, carriage returns and comments.
+	for lx.off < len(lx.src) {
+		b := lx.peekByte()
+		if b == ' ' || b == '\t' || b == '\r' {
+			lx.advance()
+			continue
+		}
+		if b == '#' || (b == '!' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] != '=') {
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		break
+	}
+	pos := ir.Pos{Line: lx.line, Col: lx.col}
+	if lx.off >= len(lx.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	b := lx.peekByte()
+	switch {
+	case b == '\n' || b == ';':
+		lx.advance()
+		return token{kind: tokNewline, pos: pos}, nil
+	case isIdentStart(b):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentPart(lx.peekByte()) {
+			lx.advance()
+		}
+		return token{kind: tokIdent, text: lx.src[start:lx.off], pos: pos}, nil
+	case isDigit(b):
+		return lx.number(pos)
+	case b == '.':
+		// Either a dotted operator (.and.) or a float like .5.
+		if lx.off+1 < len(lx.src) && isDigit(lx.src[lx.off+1]) {
+			return lx.number(pos)
+		}
+		return lx.dottedOp(pos)
+	}
+	lx.advance()
+	two := func(second byte, with, without tokKind) (token, error) {
+		if lx.peekByte() == second {
+			lx.advance()
+			return token{kind: with, pos: pos}, nil
+		}
+		return token{kind: without, pos: pos}, nil
+	}
+	switch b {
+	case '(':
+		return token{kind: tokLParen, pos: pos}, nil
+	case ')':
+		return token{kind: tokRParen, pos: pos}, nil
+	case ',':
+		return token{kind: tokComma, pos: pos}, nil
+	case '+':
+		return token{kind: tokPlus, pos: pos}, nil
+	case '-':
+		return token{kind: tokMinus, pos: pos}, nil
+	case '*':
+		return token{kind: tokStar, pos: pos}, nil
+	case '/':
+		return two('=', tokNe, tokSlash) // Fortran /= also means !=
+	case '=':
+		return two('=', tokEq, tokAssign)
+	case '<':
+		return two('=', tokLe, tokLt)
+	case '>':
+		return two('=', tokGe, tokGt)
+	case '!':
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return token{kind: tokNe, pos: pos}, nil
+		}
+		return token{}, lx.errorf(pos, "unexpected '!'")
+	}
+	return token{}, lx.errorf(pos, "unexpected character %q", string(b))
+}
+
+func (lx *lexer) number(pos ir.Pos) (token, error) {
+	start := lx.off
+	seenDot, seenExp := false, false
+	for lx.off < len(lx.src) {
+		b := lx.peekByte()
+		switch {
+		case isDigit(b):
+			lx.advance()
+		case b == '.' && !seenDot && !seenExp:
+			// Don't consume ".and." style operators: a dot followed
+			// by a letter ends the number.
+			if lx.off+1 < len(lx.src) && isIdentStart(lx.src[lx.off+1]) {
+				goto done
+			}
+			seenDot = true
+			lx.advance()
+		case (b == 'e' || b == 'E') && !seenExp:
+			// Exponent only if followed by digit or sign+digit.
+			j := lx.off + 1
+			if j < len(lx.src) && (lx.src[j] == '+' || lx.src[j] == '-') {
+				j++
+			}
+			if j >= len(lx.src) || !isDigit(lx.src[j]) {
+				goto done
+			}
+			seenExp = true
+			lx.advance()
+			if lx.peekByte() == '+' || lx.peekByte() == '-' {
+				lx.advance()
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := lx.src[start:lx.off]
+	if !seenDot && !seenExp {
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return token{}, lx.errorf(pos, "bad integer literal %q", text)
+		}
+		return token{kind: tokInt, text: text, ival: v, pos: pos}, nil
+	}
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, lx.errorf(pos, "bad float literal %q", text)
+	}
+	return token{kind: tokFloat, text: text, fval: v, pos: pos}, nil
+}
+
+func (lx *lexer) dottedOp(pos ir.Pos) (token, error) {
+	// We are at '.'; scan .word.
+	start := lx.off
+	lx.advance()
+	for lx.off < len(lx.src) && isIdentPart(lx.peekByte()) {
+		lx.advance()
+	}
+	if lx.peekByte() != '.' {
+		return token{}, lx.errorf(pos, "malformed dotted operator %q", lx.src[start:lx.off])
+	}
+	lx.advance()
+	word := strings.ToLower(lx.src[start+1 : lx.off-1])
+	switch word {
+	case "and":
+		return token{kind: tokAnd, pos: pos}, nil
+	case "or":
+		return token{kind: tokOr, pos: pos}, nil
+	case "not":
+		return token{kind: tokNot, pos: pos}, nil
+	case "eq":
+		return token{kind: tokEq, pos: pos}, nil
+	case "ne":
+		return token{kind: tokNe, pos: pos}, nil
+	case "lt":
+		return token{kind: tokLt, pos: pos}, nil
+	case "le":
+		return token{kind: tokLe, pos: pos}, nil
+	case "gt":
+		return token{kind: tokGt, pos: pos}, nil
+	case "ge":
+		return token{kind: tokGe, pos: pos}, nil
+	default:
+		return token{}, lx.errorf(pos, "unknown dotted operator .%s.", word)
+	}
+}

@@ -1,0 +1,177 @@
+// Package region constructs SPMD regions: it classifies every statement by
+// how it executes inside a region, implementing the paper's §2.3 ("Creating
+// SPMD regions"). Parallel loops are partitioned across the worker team;
+// scalar computations whose operands are processor-local are replicated;
+// everything else is guarded so a single processor (the master) executes
+// it. Sequential loops that contain parallel loops become nested regions.
+package region
+
+import "repro/internal/ir"
+
+// Mode says how a region statement executes on the worker team.
+type Mode int
+
+const (
+	// ModeParallel: a parallel loop, iterations partitioned by the
+	// computation partition.
+	ModeParallel Mode = iota
+	// ModeReplicated: executed redundantly by every worker
+	// ("Replicated computations — statements whose execution can be
+	// replicated across processors", §2.3).
+	ModeReplicated
+	// ModeGuarded: executed by the master worker only, under a guard
+	// ("Guarded computations — statements that must be protected by
+	// explicit guard expressions", §2.3).
+	ModeGuarded
+	// ModeSeqLoop: a sequential loop whose body contains parallel
+	// loops; its body forms a nested region and the loop control is
+	// replicated across workers.
+	ModeSeqLoop
+	// ModeWavefront: a serial loop over distributed data executed as a
+	// relay — each worker runs its owned chunk of the iteration space in
+	// ascending rank order with point-to-point handoffs, preserving
+	// exact sequential semantics while enabling the paper's §3.3
+	// pipelining across an enclosing sequential loop.
+	ModeWavefront
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeParallel:
+		return "parallel"
+	case ModeReplicated:
+		return "replicated"
+	case ModeGuarded:
+		return "guarded"
+	case ModeSeqLoop:
+		return "seq-loop"
+	case ModeWavefront:
+		return "wavefront"
+	default:
+		return "?"
+	}
+}
+
+// Info is the classification result for a program.
+type Info struct {
+	Modes     map[ir.Stmt]Mode
+	wavefront map[*ir.Loop]bool
+	// ReplicatedScalars are scalars written exclusively by replicated
+	// statements: in SPMD execution each worker keeps a private copy
+	// (the paper's replicated computation model), so their writes never
+	// move data between processors.
+	ReplicatedScalars map[string]bool
+}
+
+// Classify computes the execution mode of every statement reachable as a
+// region member: the program body, and recursively the bodies of
+// sequential loops that contain parallel (or wavefront) loops. Statement
+// lists inside parallel loops or guarded statements are not classified
+// (they execute as ordinary sequential code on their worker).
+//
+// wavefront lists the serial loops the partitioner found relay-executable
+// (see decomp.Plan.Wavefront); pass nil to disable wavefront execution.
+//
+// A scalar can only live in replicated (per-worker) storage when every
+// write to it is replicated; if it is also written by guarded code or by a
+// reduction, the replicated statements writing it are demoted to guarded
+// so the scalar has a single authoritative shared copy.
+func Classify(prog *ir.Program, wavefront map[*ir.Loop]bool) *Info {
+	info := &Info{Modes: map[ir.Stmt]Mode{}, ReplicatedScalars: map[string]bool{},
+		wavefront: wavefront}
+	classifyList(prog.Body, info)
+
+	// Demotion pass: find scalars with mixed write contexts.
+	replWrites := map[string][]ir.Stmt{}
+	sharedWrites := map[string]bool{}
+	for s, m := range info.Modes {
+		if m == ModeReplicated {
+			a := s.(*ir.Assign)
+			replWrites[a.LHS.Name] = append(replWrites[a.LHS.Name], s)
+		}
+	}
+	// Any scalar write outside a replicated statement is a shared write:
+	// guarded assignments, and every assignment nested in loops
+	// (reductions, privates — privates are worker-local but demotion is
+	// then harmless, as a private is never also replicated-written in
+	// valid schedules; being conservative here only costs performance).
+	ir.WalkStmts(prog.Body, func(s ir.Stmt) bool {
+		a, ok := s.(*ir.Assign)
+		if !ok || a.LHS.IsArray() {
+			return true
+		}
+		if m, classified := info.Modes[s]; classified && m == ModeReplicated {
+			return true
+		}
+		sharedWrites[a.LHS.Name] = true
+		return true
+	})
+	for name, stmts := range replWrites {
+		if sharedWrites[name] {
+			for _, s := range stmts {
+				info.Modes[s] = ModeGuarded
+			}
+			continue
+		}
+		info.ReplicatedScalars[name] = true
+	}
+	return info
+}
+
+func classifyList(stmts []ir.Stmt, info *Info) {
+	for _, s := range stmts {
+		m := info.classify(s)
+		info.Modes[s] = m
+		if m == ModeSeqLoop {
+			classifyList(s.(*ir.Loop).Body, info)
+		}
+	}
+}
+
+func (info *Info) classify(s ir.Stmt) Mode {
+	switch n := s.(type) {
+	case *ir.Loop:
+		if n.Parallel {
+			return ModeParallel
+		}
+		if info.wavefront[n] {
+			return ModeWavefront
+		}
+		if info.containsRegionWork(n.Body) {
+			return ModeSeqLoop
+		}
+		return ModeGuarded
+	case *ir.Assign:
+		if !n.LHS.IsArray() && !readsArrays(n.RHS) {
+			return ModeReplicated
+		}
+		return ModeGuarded
+	default:
+		return ModeGuarded
+	}
+}
+
+// containsRegionWork reports whether any loop in stmts is parallel or
+// wavefront-executable (either makes the enclosing sequential loop a
+// nested region).
+func (info *Info) containsRegionWork(stmts []ir.Stmt) bool {
+	found := false
+	ir.WalkStmts(stmts, func(s ir.Stmt) bool {
+		if l, ok := s.(*ir.Loop); ok && (l.Parallel || info.wavefront[l]) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func readsArrays(e ir.Expr) bool {
+	found := false
+	ir.WalkExprs(e, func(x ir.Expr) {
+		if r, ok := x.(*ir.Ref); ok && r.IsArray() {
+			found = true
+		}
+	})
+	return found
+}

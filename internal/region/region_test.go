@@ -1,0 +1,151 @@
+package region
+
+import (
+	"testing"
+
+	"repro/internal/deps"
+	"repro/internal/ir"
+	"repro/internal/parallel"
+	"repro/internal/parser"
+)
+
+func setupRegion(t *testing.T, src string) (*ir.Program, *Info) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	parallel.Parallelize(deps.NewContext(prog, 1))
+	return prog, Classify(prog, nil)
+}
+
+func TestModesBasic(t *testing.T) {
+	prog, info := setupRegion(t, `
+program p
+param N
+real A(N), s, c
+c = 2.0
+s = A(1) * c
+do i = 1, N
+  A(i) = A(i) * c
+end do
+A(1) = 0.0
+end
+`)
+	if got := info.Modes[prog.Body[0]]; got != ModeReplicated {
+		t.Errorf("c=2.0 mode = %v, want replicated", got)
+	}
+	if got := info.Modes[prog.Body[1]]; got != ModeGuarded {
+		t.Errorf("s=A(1)*c mode = %v, want guarded (reads an array)", got)
+	}
+	if got := info.Modes[prog.Body[2]]; got != ModeParallel {
+		t.Errorf("loop mode = %v, want parallel", got)
+	}
+	if got := info.Modes[prog.Body[3]]; got != ModeGuarded {
+		t.Errorf("A(1)=0 mode = %v, want guarded", got)
+	}
+	if !info.ReplicatedScalars["c"] {
+		t.Error("c should be a replicated scalar")
+	}
+	if info.ReplicatedScalars["s"] {
+		t.Error("s is guarded-written; must not be replicated")
+	}
+}
+
+func TestSeqLoopNesting(t *testing.T) {
+	prog, info := setupRegion(t, `
+program p
+param N, T
+real A(N)
+do k = 1, T
+  do i = 2, N
+    A(i) = A(i - 1) * 0.5
+  end do
+  parallel do i = 1, N
+    A(i) = A(i) + 1.0
+  end do
+end do
+end
+`)
+	kloop := prog.Body[0].(*ir.Loop)
+	if got := info.Modes[kloop]; got != ModeSeqLoop {
+		t.Fatalf("k loop mode = %v, want seq-loop", got)
+	}
+	// Inside: the serial recurrence is guarded, the parallel loop parallel.
+	if got := info.Modes[kloop.Body[0]]; got != ModeGuarded {
+		t.Errorf("recurrence mode = %v, want guarded", got)
+	}
+	if got := info.Modes[kloop.Body[1]]; got != ModeParallel {
+		t.Errorf("parallel loop mode = %v, want parallel", got)
+	}
+}
+
+func TestSerialLoopWithoutParallelIsGuarded(t *testing.T) {
+	prog, info := setupRegion(t, `
+program p
+param N
+real A(N)
+do i = 2, N
+  A(i) = A(i - 1) + 1.0
+end do
+end
+`)
+	if got := info.Modes[prog.Body[0]]; got != ModeGuarded {
+		t.Errorf("pure serial loop mode = %v, want guarded", got)
+	}
+}
+
+func TestDemotionOnMixedWrites(t *testing.T) {
+	// err is written by a replicated-looking statement AND by a
+	// reduction: the replicated write must demote to guarded so the
+	// shared slot has one writer context.
+	prog, info := setupRegion(t, `
+program p
+param N, T
+real A(N), err
+do k = 1, T
+  err = 0.0
+  do i = 1, N
+    err = err + A(i)
+  end do
+  do i = 1, N
+    A(i) = A(i) / (err + 1.0)
+  end do
+end do
+end
+`)
+	kloop := prog.Body[0].(*ir.Loop)
+	reset := kloop.Body[0]
+	if got := info.Modes[reset]; got != ModeGuarded {
+		t.Errorf("err=0.0 mode = %v, want guarded after demotion", got)
+	}
+	if info.ReplicatedScalars["err"] {
+		t.Error("err must not be classified as a replicated scalar")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for m, want := range map[Mode]string{
+		ModeParallel: "parallel", ModeReplicated: "replicated",
+		ModeGuarded: "guarded", ModeSeqLoop: "seq-loop",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}
+
+func TestIfContainingNoParallelIsGuarded(t *testing.T) {
+	prog, info := setupRegion(t, `
+program p
+param N
+real A(N), s
+if s > 0.0 then
+  A(1) = 1.0
+end if
+end
+`)
+	if got := info.Modes[prog.Body[0]]; got != ModeGuarded {
+		t.Errorf("if mode = %v, want guarded", got)
+	}
+}

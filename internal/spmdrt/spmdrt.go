@@ -1,0 +1,356 @@
+// Package spmdrt is the SPMD runtime substrate: worker teams executing a
+// region function, barrier synchronization in three classic
+// implementations (central sense-reversing, combining tree,
+// dissemination), producer/consumer counters (§2.2 of the paper) and
+// per-worker point-to-point completion counters for neighbor and pipeline
+// synchronization. All primitives record dynamic synchronization counts so
+// the benchmark harness can reproduce the paper's "barriers executed"
+// tables exactly.
+package spmdrt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats counts dynamic synchronization events. A barrier crossed by all P
+// workers counts as one executed barrier, matching the paper's metric.
+type Stats struct {
+	Barriers      atomic.Int64
+	CounterIncrs  atomic.Int64
+	CounterWaits  atomic.Int64
+	NeighborWaits atomic.Int64
+	Dispatches    atomic.Int64
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Barriers:      s.Barriers.Load(),
+		CounterIncrs:  s.CounterIncrs.Load(),
+		CounterWaits:  s.CounterWaits.Load(),
+		NeighborWaits: s.NeighborWaits.Load(),
+		Dispatches:    s.Dispatches.Load(),
+	}
+}
+
+// StatsSnapshot is an immutable copy of Stats.
+type StatsSnapshot struct {
+	Barriers      int64
+	CounterIncrs  int64
+	CounterWaits  int64
+	NeighborWaits int64
+	Dispatches    int64
+}
+
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("barriers=%d counters(incr=%d,wait=%d) neighbor-waits=%d dispatches=%d",
+		s.Barriers, s.CounterIncrs, s.CounterWaits, s.NeighborWaits, s.Dispatches)
+}
+
+// BarrierKind selects a barrier implementation.
+type BarrierKind int
+
+const (
+	// Central is a sense-reversing barrier on one atomic counter; O(P)
+	// contention on a single cache line.
+	Central BarrierKind = iota
+	// Tree is a combining-tree barrier of arity 4 with a global release.
+	Tree
+	// Dissemination runs ceil(log2 P) rounds of pairwise signaling.
+	Dissemination
+)
+
+func (k BarrierKind) String() string {
+	switch k {
+	case Central:
+		return "central"
+	case Tree:
+		return "tree"
+	case Dissemination:
+		return "dissemination"
+	default:
+		return fmt.Sprintf("BarrierKind(%d)", int(k))
+	}
+}
+
+// Barrier is a reusable P-worker barrier.
+type Barrier interface {
+	// Wait blocks worker w until all workers of the team arrive.
+	Wait(w int)
+}
+
+// spinThenYield busy-waits briefly, then yields to the scheduler, so teams
+// larger than GOMAXPROCS cannot livelock.
+func spinThenYield(done func() bool) {
+	for i := 0; i < 64; i++ {
+		if done() {
+			return
+		}
+	}
+	for !done() {
+		runtime.Gosched()
+	}
+}
+
+type pad [120]byte
+
+// centralBarrier is the classic sense-reversing centralized barrier.
+type centralBarrier struct {
+	n     int
+	count atomic.Int64
+	sense atomic.Int64
+	_     pad
+	local []paddedInt
+}
+
+type paddedInt struct {
+	v int64
+	_ pad
+}
+
+// NewBarrier constructs a barrier of the given kind for n workers.
+func NewBarrier(kind BarrierKind, n int) Barrier {
+	if n <= 0 {
+		panic("spmdrt: barrier needs at least one worker")
+	}
+	switch kind {
+	case Tree:
+		return newTreeBarrier(n)
+	case Dissemination:
+		return newDisseminationBarrier(n)
+	default:
+		return &centralBarrier{n: n, local: make([]paddedInt, n)}
+	}
+}
+
+func (b *centralBarrier) Wait(w int) {
+	mySense := 1 - b.local[w].v
+	b.local[w].v = mySense
+	if b.count.Add(1) == int64(b.n) {
+		b.count.Store(0)
+		b.sense.Store(mySense)
+		return
+	}
+	spinThenYield(func() bool { return b.sense.Load() == mySense })
+}
+
+// treeBarrier: workers combine arrivals up a static arity-4 tree; the root
+// flips a global release sense.
+type treeBarrier struct {
+	n       int
+	nodes   []treeNode
+	release atomic.Int64
+	local   []paddedInt
+}
+
+type treeNode struct {
+	parent   int // -1 at root
+	expected int64
+	count    atomic.Int64
+	_        pad
+}
+
+const treeArity = 4
+
+func newTreeBarrier(n int) *treeBarrier {
+	// Leaf i = worker i; internal nodes above. Build an array-encoded
+	// arity-4 tree over n leaves.
+	b := &treeBarrier{n: n, local: make([]paddedInt, n)}
+	// Simple construction: nodes[0..n-1] are leaves; repeatedly group.
+	type level struct{ first, count int }
+	b.nodes = make([]treeNode, 0, 2*n)
+	for i := 0; i < n; i++ {
+		b.nodes = append(b.nodes, treeNode{parent: -1})
+	}
+	cur := level{0, n}
+	for cur.count > 1 {
+		parents := (cur.count + treeArity - 1) / treeArity
+		firstParent := len(b.nodes)
+		for p := 0; p < parents; p++ {
+			kids := treeArity
+			if p == parents-1 {
+				kids = cur.count - p*treeArity
+			}
+			b.nodes = append(b.nodes, treeNode{parent: -1, expected: int64(kids)})
+			for c := 0; c < kids; c++ {
+				b.nodes[cur.first+p*treeArity+c].parent = firstParent + p
+			}
+		}
+		cur = level{firstParent, parents}
+	}
+	return b
+}
+
+func (b *treeBarrier) Wait(w int) {
+	mySense := 1 - b.local[w].v
+	b.local[w].v = mySense
+	// Propagate arrival upward; the last arriver at each node continues.
+	node := b.nodes[w].parent
+	for node != -1 {
+		nd := &b.nodes[node]
+		if nd.count.Add(1) != nd.expected {
+			break
+		}
+		nd.count.Store(0)
+		node = nd.parent
+		if node == -1 {
+			b.release.Store(mySense)
+			return
+		}
+	}
+	if b.n == 1 {
+		b.release.Store(mySense)
+		return
+	}
+	spinThenYield(func() bool { return b.release.Load() == mySense })
+}
+
+// disseminationBarrier: round r has worker w signal (w + 2^r) mod n and
+// wait for a signal from (w - 2^r) mod n; after ceil(log2 n) rounds all
+// workers have transitively heard from everyone.
+type disseminationBarrier struct {
+	n      int
+	rounds int
+	// flags[r][w] counts signals received by worker w in round r.
+	flags [][]paddedAtomic
+	// epoch per worker distinguishes reuse.
+	epoch []paddedInt
+}
+
+type paddedAtomic struct {
+	v atomic.Int64
+	_ pad
+}
+
+func newDisseminationBarrier(n int) *disseminationBarrier {
+	rounds := 0
+	for 1<<rounds < n {
+		rounds++
+	}
+	b := &disseminationBarrier{n: n, rounds: rounds, epoch: make([]paddedInt, n)}
+	b.flags = make([][]paddedAtomic, rounds)
+	for r := range b.flags {
+		b.flags[r] = make([]paddedAtomic, n)
+	}
+	return b
+}
+
+func (b *disseminationBarrier) Wait(w int) {
+	b.epoch[w].v++
+	target := b.epoch[w].v
+	for r := 0; r < b.rounds; r++ {
+		peer := (w + (1 << r)) % b.n
+		b.flags[r][peer].v.Add(1)
+		me := &b.flags[r][w].v
+		spinThenYield(func() bool { return me.Load() >= target })
+	}
+}
+
+// Counter is a monotonic producer/consumer counter ("Processors defining
+// values can increment a counter, and processors accessing the values wait
+// until the counter is incremented to the proper value", §2.2).
+type Counter struct {
+	v  atomic.Int64
+	mu sync.Mutex
+	cv *sync.Cond
+}
+
+// NewCounter returns a counter starting at zero.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.cv = sync.NewCond(&c.mu)
+	return c
+}
+
+// Add increments the counter by d and wakes waiters.
+func (c *Counter) Add(d int64) {
+	c.mu.Lock()
+	c.v.Add(d)
+	c.cv.Broadcast()
+	c.mu.Unlock()
+}
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// WaitGE blocks until the counter value is at least target.
+func (c *Counter) WaitGE(target int64) {
+	for i := 0; i < 64; i++ {
+		if c.v.Load() >= target {
+			return
+		}
+	}
+	c.mu.Lock()
+	for c.v.Load() < target {
+		c.cv.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// P2P provides per-worker monotonic completion counters for neighbor and
+// pipeline synchronization: worker w posts its own progress; any worker
+// may wait for another worker's progress to reach a value.
+type P2P struct {
+	slots []*Counter
+}
+
+// NewP2P builds completion counters for n workers.
+func NewP2P(n int) *P2P {
+	p := &P2P{slots: make([]*Counter, n)}
+	for i := range p.slots {
+		p.slots[i] = NewCounter()
+	}
+	return p
+}
+
+// Post records that worker w completed one more step.
+func (p *P2P) Post(w int) { p.slots[w].Add(1) }
+
+// WaitFor blocks until worker w has posted at least value steps.
+func (p *P2P) WaitFor(w int, value int64) { p.slots[w].WaitGE(value) }
+
+// Progress returns worker w's posted count.
+func (p *P2P) Progress(w int) int64 { return p.slots[w].Load() }
+
+// Team runs SPMD region functions on n workers.
+type Team struct {
+	N       int
+	Stats   *Stats
+	barrier Barrier
+	kind    BarrierKind
+}
+
+// NewTeam creates a team of n workers using the given barrier kind.
+func NewTeam(n int, kind BarrierKind) *Team {
+	if n <= 0 {
+		panic("spmdrt: team needs at least one worker")
+	}
+	return &Team{N: n, Stats: &Stats{}, barrier: NewBarrier(kind, n), kind: kind}
+}
+
+// BarrierKind returns the team's barrier implementation kind.
+func (t *Team) BarrierKind() BarrierKind { return t.kind }
+
+// Run executes fn(w) on n concurrent workers and returns when all finish.
+func (t *Team) Run(fn func(w int)) {
+	var wg sync.WaitGroup
+	wg.Add(t.N)
+	for w := 0; w < t.N; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Barrier synchronizes all team workers and counts one barrier episode.
+func (t *Team) Barrier(w int) {
+	if w == 0 {
+		t.Stats.Barriers.Add(1)
+	}
+	t.barrier.Wait(w)
+}

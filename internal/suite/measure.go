@@ -1,0 +1,190 @@
+package suite
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/ir"
+	"repro/internal/region"
+	"repro/internal/spmdrt"
+	"repro/internal/syncopt"
+)
+
+// Metrics holds everything the tables need for one kernel.
+type Metrics struct {
+	Kernel Kernel
+
+	// Static program characteristics (Table 1).
+	Lines         int
+	ParallelLoops int
+	SeqRegions    int // sequential loops forming nested SPMD regions
+	Replicated    int
+	Guarded       int
+
+	// Static synchronization sites (Table 2).
+	StaticBase syncopt.StaticCounts
+	StaticOpt  syncopt.StaticCounts
+
+	// Dynamic synchronization (Table 3) at the standard input.
+	Workers int
+	DynBase spmdrt.StatsSnapshot
+	DynOpt  spmdrt.StatsSnapshot
+
+	// Elapsed time (Table 4).
+	BaseTime, OptTime time.Duration
+
+	// Correctness cross-check against the sequential interpreter.
+	MaxDiff float64
+}
+
+// BarrierReduction returns the fraction of dynamic barriers eliminated,
+// in [0,1]; a baseline of zero barriers reports zero reduction.
+func (m Metrics) BarrierReduction() float64 {
+	if m.DynBase.Barriers == 0 {
+		return 0
+	}
+	return 1 - float64(m.DynOpt.Barriers)/float64(m.DynBase.Barriers)
+}
+
+// MeasureOptions configure a measurement run.
+type MeasureOptions struct {
+	Workers int
+	Barrier spmdrt.BarrierKind
+	// Sync forwards ablation knobs to the optimizer.
+	Sync syncopt.Options
+	// Params overrides the kernel's standard input when non-nil.
+	Params map[string]int64
+}
+
+// Measure compiles and runs one kernel in both baseline and optimized
+// form, verifying both against the sequential interpreter.
+func Measure(k Kernel, opt MeasureOptions) (Metrics, error) {
+	if opt.Workers <= 0 {
+		opt.Workers = 8
+	}
+	params := k.Params
+	if opt.Params != nil {
+		params = opt.Params
+	}
+	m := Metrics{Kernel: k, Workers: opt.Workers}
+
+	c, err := core.Compile(k.Source, core.Options{Sync: opt.Sync})
+	if err != nil {
+		return m, fmt.Errorf("%s: compile: %w", k.Name, err)
+	}
+	if errs := syncopt.Verify(c.Analyzer, c.Schedule); len(errs) > 0 {
+		return m, fmt.Errorf("%s: schedule verification failed: %v", k.Name, errs[0])
+	}
+	m.Lines = countLines(k.Source)
+	for s, mode := range c.Schedule.Modes {
+		switch mode {
+		case region.ModeParallel:
+			m.ParallelLoops++
+		case region.ModeSeqLoop:
+			m.SeqRegions++
+		case region.ModeReplicated:
+			m.Replicated++
+		case region.ModeGuarded:
+			m.Guarded++
+		}
+		_ = s
+	}
+	m.StaticBase = c.Baseline.Static()
+	m.StaticOpt = c.Schedule.Static()
+
+	ref, err := c.RunSequential(params)
+	if err != nil {
+		return m, fmt.Errorf("%s: sequential: %w", k.Name, err)
+	}
+
+	base, err := c.NewBaselineRunner(exec.Config{
+		Workers: opt.Workers, Barrier: opt.Barrier, Params: params})
+	if err != nil {
+		return m, err
+	}
+	bres, err := base.Run()
+	if err != nil {
+		return m, fmt.Errorf("%s: baseline run: %w", k.Name, err)
+	}
+	if d := exec.ComparableDiff(ref, bres.State, c.Prog); d > k.Tol {
+		return m, fmt.Errorf("%s: baseline diverges from sequential by %g", k.Name, d)
+	}
+	m.DynBase = bres.Stats
+	m.BaseTime = bres.Elapsed
+
+	optr, err := c.NewRunner(exec.Config{
+		Workers: opt.Workers, Barrier: opt.Barrier, Params: params, Mode: exec.SPMD})
+	if err != nil {
+		return m, err
+	}
+	ores, err := optr.Run()
+	if err != nil {
+		return m, fmt.Errorf("%s: optimized run: %w", k.Name, err)
+	}
+	if d := exec.ComparableDiff(ref, ores.State, c.Prog); d > k.Tol {
+		return m, fmt.Errorf("%s: optimized diverges from sequential by %g\nschedule:\n%s",
+			k.Name, d, c.Schedule.Dump())
+	}
+	m.MaxDiff = exec.ComparableDiff(ref, ores.State, c.Prog)
+	m.DynOpt = ores.Stats
+	m.OptTime = ores.Elapsed
+	return m, nil
+}
+
+// MeasureAll measures every suite kernel.
+func MeasureAll(opt MeasureOptions) ([]Metrics, error) {
+	var out []Metrics
+	for _, k := range Kernels() {
+		m, err := Measure(k, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Explain compiles a kernel and renders its schedule plus per-boundary
+// reasoning — the tool behind `barrierc -explain` (figure F2).
+func Explain(k Kernel) (string, error) {
+	c, err := core.Compile(k.Source, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	out := fmt.Sprintf("program %s — %s\n\n", k.Name, k.Shape)
+	out += "parallel loops:\n"
+	for _, l := range c.Parallelized.Parallel {
+		pl := c.Plan.Placements[l]
+		out += fmt.Sprintf("  %s\n    placement: %s\n", ir.StmtString(l), pl)
+		if len(l.Private) > 0 {
+			out += fmt.Sprintf("    private: %v\n", l.Private)
+		}
+		for _, r := range l.Reductions {
+			out += fmt.Sprintf("    reduction: %s (%s)\n", r.Var, r.Op)
+		}
+	}
+	if len(c.Parallelized.Serial) > 0 {
+		out += "serial loops:\n"
+		for l, why := range c.Parallelized.Serial {
+			out += fmt.Sprintf("  %s: %s\n", ir.StmtString(l), why)
+		}
+	}
+	out += "\nschedule:\n" + c.Schedule.Dump()
+	st := c.Schedule.Static()
+	bst := c.Baseline.Static()
+	out += fmt.Sprintf("\nstatic sync sites: base %d barriers -> opt %d barriers, %d counters, %d neighbor\n",
+		bst.Barriers, st.Barriers, st.Counters, st.Neighbors)
+	return out, nil
+}
+
+func countLines(src string) int {
+	n := 0
+	for _, c := range src {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,201 @@
+package suite
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costsim"
+	"repro/internal/exec"
+	"repro/internal/spmdrt"
+)
+
+// Table1 prints benchmark characteristics (paper's program table).
+func Table1(w io.Writer, ms []Metrics) {
+	fmt.Fprintln(w, "Table 1: benchmark characteristics")
+	fmt.Fprintf(w, "%-14s %6s %10s %9s %11s %8s  %s\n",
+		"program", "lines", "par.loops", "regions", "replicated", "guarded", "shape")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%-14s %6d %10d %9d %11d %8d  %s\n",
+			m.Kernel.Name, m.Lines, m.ParallelLoops, m.SeqRegions,
+			m.Replicated, m.Guarded, m.Kernel.Shape)
+	}
+}
+
+// Table2 prints static synchronization sites before and after optimization.
+func Table2(w io.Writer, ms []Metrics) {
+	fmt.Fprintln(w, "Table 2: static synchronization sites (base -> optimized)")
+	fmt.Fprintf(w, "%-14s %13s %12s %10s %10s %10s\n",
+		"program", "base.barriers", "opt.barriers", "counters", "neighbor", "eliminated")
+	for _, m := range ms {
+		elim := m.StaticBase.Barriers - m.StaticOpt.Barriers
+		fmt.Fprintf(w, "%-14s %13d %12d %10d %10d %10d\n",
+			m.Kernel.Name, m.StaticBase.Barriers, m.StaticOpt.Barriers,
+			m.StaticOpt.Counters, m.StaticOpt.Neighbors, elim)
+	}
+}
+
+// Table3 prints dynamic barrier counts at the standard input — the paper's
+// headline table ("barrier synchronization is reduced 29% on average and
+// by several orders of magnitude for certain programs").
+func Table3(w io.Writer, ms []Metrics) {
+	fmt.Fprintf(w, "Table 3: dynamic synchronization executed (P=%d, standard input)\n", workersOf(ms))
+	fmt.Fprintf(w, "%-14s %12s %12s %10s %12s %14s\n",
+		"program", "base.barr", "opt.barr", "reduction", "opt.counter", "opt.neighbor")
+	sum := 0.0
+	for _, m := range ms {
+		red := m.BarrierReduction()
+		sum += red
+		fmt.Fprintf(w, "%-14s %12d %12d %9.1f%% %12d %14d\n",
+			m.Kernel.Name, m.DynBase.Barriers, m.DynOpt.Barriers,
+			red*100, m.DynOpt.CounterIncrs, m.DynOpt.NeighborWaits)
+	}
+	if len(ms) > 0 {
+		fmt.Fprintf(w, "%-14s %37.1f%%   (paper reports 29%% on its suite)\n",
+			"MEAN", sum/float64(len(ms))*100)
+	}
+}
+
+func workersOf(ms []Metrics) int {
+	if len(ms) == 0 {
+		return 0
+	}
+	return ms[0].Workers
+}
+
+// Table4 measures elapsed time and speedup for the selected kernels across
+// worker counts (the paper's performance table). Each cell is the median
+// of three runs.
+func Table4(w io.Writer, names []string, workerList []int) error {
+	fmt.Fprintln(w, "Table 4: elapsed time, fork-join base vs optimized SPMD (median of 3)")
+	fmt.Fprintf(w, "%-14s %4s %12s %12s %9s\n", "program", "P", "base", "optimized", "speedup")
+	for _, name := range names {
+		k, err := Get(name)
+		if err != nil {
+			return err
+		}
+		c, err := core.Compile(k.Source, core.Options{})
+		if err != nil {
+			return err
+		}
+		for _, p := range workerList {
+			bt, err := medianRun(c, k, p, exec.ForkJoin, true)
+			if err != nil {
+				return err
+			}
+			ot, err := medianRun(c, k, p, exec.SPMD, false)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-14s %4d %12s %12s %8.2fx\n",
+				name, p, bt.Round(time.Microsecond), ot.Round(time.Microsecond),
+				float64(bt)/float64(ot))
+		}
+	}
+	return nil
+}
+
+func medianRun(c *core.Compiled, k Kernel, workers int, mode exec.Mode, baseline bool) (time.Duration, error) {
+	var runs []time.Duration
+	for i := 0; i < 3; i++ {
+		var r *exec.Runner
+		var err error
+		cfg := exec.Config{Workers: workers, Params: k.Params, Mode: mode}
+		if baseline {
+			r, err = c.NewBaselineRunner(cfg)
+		} else {
+			r, err = c.NewRunner(cfg)
+		}
+		if err != nil {
+			return 0, err
+		}
+		res, err := r.Run()
+		if err != nil {
+			return 0, err
+		}
+		runs = append(runs, res.Elapsed)
+	}
+	// median of three
+	if runs[0] > runs[1] {
+		runs[0], runs[1] = runs[1], runs[0]
+	}
+	if runs[1] > runs[2] {
+		runs[1], runs[2] = runs[2], runs[1]
+	}
+	if runs[0] > runs[1] {
+		runs[0], runs[1] = runs[1], runs[0]
+	}
+	return runs[1], nil
+}
+
+// Figure1 measures per-episode barrier latency against team size for the
+// three barrier implementations — the paper's motivation figure (barrier
+// cost grows with the number of processors).
+func Figure1(w io.Writer, sizes []int, episodes int) {
+	fmt.Fprintln(w, "Figure 1: barrier latency vs processors (ns/episode)")
+	fmt.Fprintf(w, "%4s %12s %12s %14s\n", "P", "central", "tree", "dissemination")
+	for _, p := range sizes {
+		var row []int64
+		for _, kind := range []spmdrt.BarrierKind{spmdrt.Central, spmdrt.Tree, spmdrt.Dissemination} {
+			team := spmdrt.NewTeam(p, kind)
+			start := time.Now()
+			team.Run(func(wk int) {
+				for e := 0; e < episodes; e++ {
+					team.Barrier(wk)
+				}
+			})
+			row = append(row, time.Since(start).Nanoseconds()/int64(episodes))
+		}
+		fmt.Fprintf(w, "%4d %12d %12d %14d\n", p, row[0], row[1], row[2])
+	}
+}
+
+// Figure4 prints predicted speedup curves (base fork-join vs optimized
+// SPMD) from the cost simulator, under shared-memory and software-DSM
+// synchronization costs — the paper's performance table, regenerated on
+// the substrate we simulate because the host has no multiprocessor.
+func Figure4(w io.Writer, names []string, workerList []int) error {
+	fmt.Fprintln(w, "Figure 4: predicted speedup (cost simulation), base vs optimized")
+	fmt.Fprintf(w, "%-14s %4s %12s %12s %14s %14s\n",
+		"program", "P", "shm.base", "shm.opt", "dsm.base", "dsm.opt")
+	for _, name := range names {
+		k, err := Get(name)
+		if err != nil {
+			return err
+		}
+		c, err := core.Compile(k.Source, core.Options{})
+		if err != nil {
+			return err
+		}
+		for _, p := range workerList {
+			row := make([]float64, 0, 4)
+			for _, costs := range []costsim.Costs{costsim.SharedMemory(), costsim.SoftwareDSM()} {
+				base, err := costsim.Simulate(c.Baseline, c.Plan, k.Params, p, costsim.ForkJoin, costs)
+				if err != nil {
+					return err
+				}
+				opt, err := costsim.Simulate(c.Schedule, c.Plan, k.Params, p, costsim.SPMD, costs)
+				if err != nil {
+					return err
+				}
+				row = append(row, base.Speedup(), opt.Speedup())
+			}
+			fmt.Fprintf(w, "%-14s %4d %11.2fx %11.2fx %13.2fx %13.2fx\n",
+				name, p, row[0], row[1], row[2], row[3])
+		}
+	}
+	return nil
+}
+
+// Figure3 renders the per-program dynamic barrier reduction as an ASCII
+// bar chart (the paper's per-program reduction figure).
+func Figure3(w io.Writer, ms []Metrics) {
+	fmt.Fprintln(w, "Figure 3: dynamic barrier reduction by program")
+	for _, m := range ms {
+		red := m.BarrierReduction()
+		bar := strings.Repeat("#", int(red*50+0.5))
+		fmt.Fprintf(w, "%-14s %6.1f%% |%-50s|\n", m.Kernel.Name, red*100, bar)
+	}
+}

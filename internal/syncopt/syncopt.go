@@ -1,0 +1,363 @@
+// Package syncopt implements the paper's greedy barrier-elimination
+// algorithm (§3.2.2) over SPMD regions:
+//
+//  1. Start with the first statement as the current group.
+//  2. For each following statement, test for loop-independent
+//     communication against the current group and against earlier groups
+//     whose flows are not already covered by intervening synchronization.
+//  3. If no communication exists, merge the statement into the group;
+//     otherwise emit the cheapest sufficient synchronization (none <
+//     neighbor point-to-point < counter < barrier) and start a new group.
+//  4. For a sequential loop enclosing the region, test loop-carried
+//     communication and place (or eliminate, or weaken into a pipelining
+//     point-to-point) the loop-bottom barrier.
+//
+// Coverage rules: a counter synchronizes one-way between all producers and
+// all waiters, so like a barrier it covers any earlier flow crossing it;
+// a neighbor sync covers only neighbor-class flows whose directions it
+// includes (point-to-point waits compose transitively across groups).
+package syncopt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/ir"
+	"repro/internal/region"
+)
+
+// Sync is the synchronization required at one region boundary.
+type Sync struct {
+	Class                comm.Class
+	WaitLower, WaitUpper bool
+	// Reasons records the access pairs that forced this class.
+	Reasons []string
+}
+
+// covers reports whether this sync, sitting at one of the boundaries a
+// flow crosses, orders that flow. atSource marks the boundary directly
+// after the flow's source group.
+//
+//   - A barrier orders everything: every worker arrives.
+//   - A neighbor sync is POSTED by every worker at the boundary (posting
+//     is unconditional in the runtime), so it orders neighbor-class flows
+//     from any earlier group whose wait directions it includes — the
+//     point-to-point waits compose transitively across groups.
+//   - A counter is posted only by the workers active in ITS OWN preceding
+//     group, so it orders a flow only at the flow's source boundary
+//     (where the flow's producers are a subset of the posters). This
+//     asymmetry is exactly the bug class the pipeline fuzzer catches if
+//     relaxed.
+func (s Sync) covers(v comm.Verdict, atSource bool) bool {
+	switch s.Class {
+	case comm.ClassBarrier:
+		return true
+	case comm.ClassCounter:
+		return atSource
+	case comm.ClassNeighbor:
+		if v.Class != comm.ClassNeighbor {
+			return false
+		}
+		return (!v.WaitLower || s.WaitLower) && (!v.WaitUpper || s.WaitUpper)
+	default:
+		return false
+	}
+}
+
+// promote combines the synchronization needed for direct flows (from the
+// group immediately before the boundary) with flows from earlier groups.
+// A counter at this boundary is posted only by the preceding group's
+// workers, so it cannot order earlier-group flows; neighbor syncs post
+// from every worker and remain valid. Anything else must strengthen to a
+// barrier.
+func promote(direct, earlier comm.Verdict) Sync {
+	if earlier.Class == comm.ClassNone {
+		return syncFrom(direct)
+	}
+	combined := combineV(direct, earlier)
+	if earlier.Class == comm.ClassNeighbor &&
+		(direct.Class == comm.ClassNone || direct.Class == comm.ClassNeighbor) {
+		return syncFrom(combined)
+	}
+	return Sync{Class: comm.ClassBarrier, Reasons: combined.Pairs}
+}
+
+func (s Sync) String() string {
+	out := s.Class.String()
+	if s.Class == comm.ClassNeighbor {
+		var d []string
+		if s.WaitLower {
+			d = append(d, "lower")
+		}
+		if s.WaitUpper {
+			d = append(d, "upper")
+		}
+		out += "(" + strings.Join(d, ",") + ")"
+	}
+	return out
+}
+
+func syncFrom(v comm.Verdict) Sync {
+	return Sync{Class: v.Class, WaitLower: v.WaitLower, WaitUpper: v.WaitUpper, Reasons: v.Pairs}
+}
+
+// Group is a run of region statements requiring no internal
+// synchronization.
+type Group struct {
+	Stmts []ir.Stmt
+}
+
+// RegionSched is the synchronization schedule of one region: the body of a
+// sequential loop containing parallel loops (Loop != nil) or the program
+// body (Loop == nil).
+type RegionSched struct {
+	Loop   *ir.Loop
+	Groups []Group
+	// After[i] is the synchronization after Groups[i]. For a loop
+	// region, After[len-1] is the loop-bottom synchronization (between
+	// iteration k's last group and iteration k+1's first group). For
+	// the top-level region After[len-1] is always none.
+	After []Sync
+}
+
+// Schedule is the whole-program synchronization schedule.
+type Schedule struct {
+	Prog    *ir.Program
+	Info    *region.Info
+	Modes   map[ir.Stmt]region.Mode
+	Top     *RegionSched
+	Regions map[*ir.Loop]*RegionSched
+}
+
+// Options control the optimizer for ablation studies (DESIGN.md A2/A3).
+type Options struct {
+	// Baseline disables everything: one group per statement, a barrier
+	// after every parallel loop (the fork-join shape SUIF emits before
+	// the paper's pass runs).
+	Baseline bool
+	// NoReplacement downgrades neighbor and counter synchronization to
+	// barriers (elimination still runs).
+	NoReplacement bool
+	// NoMerging gives every statement its own group (no elimination of
+	// loop-independent barriers) but still classifies boundaries and,
+	// with replacement on, may weaken them.
+	NoMerging bool
+}
+
+// Build computes the schedule for a program using the given analyzer.
+func Build(a *comm.Analyzer, opts Options) *Schedule {
+	sched := &Schedule{
+		Prog:    a.Ctx.Prog,
+		Info:    a.Info,
+		Modes:   a.Modes,
+		Regions: map[*ir.Loop]*RegionSched{},
+	}
+	sched.Top = buildRegion(a, sched, nil, a.Ctx.Prog.Body, nil, opts)
+	return sched
+}
+
+// buildRegion schedules one region. outer lists the sequential loops
+// enclosing the region (outermost first); for a loop region the loop
+// itself is the last element's child, i.e. loop's enclosing chain is outer
+// and the carried test uses loop as carrier.
+func buildRegion(a *comm.Analyzer, sched *Schedule, loop *ir.Loop, body []ir.Stmt, outer []*ir.Loop, opts Options) *RegionSched {
+	rs := &RegionSched{Loop: loop}
+	inner := outer
+	if loop != nil {
+		inner = append(append([]*ir.Loop(nil), outer...), loop)
+	}
+
+	// Recurse into nested sequential-loop regions first.
+	for _, s := range body {
+		if sched.Modes[s] == region.ModeSeqLoop {
+			l := s.(*ir.Loop)
+			sched.Regions[l] = buildRegion(a, sched, l, l.Body, inner, opts)
+		}
+	}
+
+	if opts.Baseline {
+		buildBaseline(sched, rs, body)
+		return rs
+	}
+
+	// Greedy grouping.
+	for _, s := range body {
+		if len(rs.Groups) == 0 {
+			rs.Groups = append(rs.Groups, Group{Stmts: []ir.Stmt{s}})
+			continue
+		}
+		cur := len(rs.Groups) - 1
+		// Direct flows from the current group.
+		direct := a.Between(rs.Groups[cur].Stmts, []ir.Stmt{s}, inner, nil)
+		// Flows from earlier groups not covered by intervening syncs.
+		earlier := comm.Verdict{Class: comm.ClassNone, Exact: true}
+		for i := 0; i < cur; i++ {
+			v := a.Between(rs.Groups[i].Stmts, []ir.Stmt{s}, inner, nil)
+			if v.Class == comm.ClassNone {
+				continue
+			}
+			if !coveredPath(rs.After[i:cur], v, true) {
+				earlier = combineV(earlier, v)
+			}
+		}
+		if direct.Class == comm.ClassNone && earlier.Class == comm.ClassNone && !opts.NoMerging {
+			g := &rs.Groups[cur]
+			g.Stmts = append(g.Stmts, s)
+			continue
+		}
+		sync := promote(direct, earlier)
+		if opts.NoReplacement && sync.Class != comm.ClassNone {
+			sync = Sync{Class: comm.ClassBarrier, Reasons: sync.Reasons}
+		}
+		rs.After = append(rs.After, sync)
+		rs.Groups = append(rs.Groups, Group{Stmts: []ir.Stmt{s}})
+	}
+	if len(rs.Groups) > 0 {
+		rs.After = append(rs.After, Sync{Class: comm.ClassNone})
+	}
+
+	// Loop-bottom synchronization for loop regions. The bottom boundary
+	// sits directly after the LAST group, so only flows sourced there
+	// count as direct for counter purposes.
+	if loop != nil && len(rs.Groups) > 0 {
+		n := len(rs.Groups)
+		direct := comm.Verdict{Class: comm.ClassNone, Exact: true}
+		earlier := comm.Verdict{Class: comm.ClassNone, Exact: true}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := a.Between(rs.Groups[i].Stmts, rs.Groups[j].Stmts, outer, loop)
+				if v.Class == comm.ClassNone {
+					continue
+				}
+				// Boundaries crossed by the flow: after group
+				// i (iteration k) through before group j
+				// (iteration k+1), excluding the bottom
+				// boundary being decided. Only the boundary
+				// right after group i is at-source.
+				covered := false
+				for b := i; b < n-1 && !covered; b++ {
+					covered = rs.After[b].covers(v, b == i)
+				}
+				for b := 0; b < j && !covered; b++ {
+					covered = rs.After[b].covers(v, false)
+				}
+				if covered {
+					continue
+				}
+				if i == n-1 {
+					direct = combineV(direct, v)
+				} else {
+					earlier = combineV(earlier, v)
+				}
+			}
+		}
+		sync := promote(direct, earlier)
+		if opts.NoReplacement && sync.Class != comm.ClassNone {
+			sync = Sync{Class: comm.ClassBarrier, Reasons: sync.Reasons}
+		}
+		rs.After[n-1] = sync
+	}
+	return rs
+}
+
+// buildBaseline produces the fork-join shape: one group per statement and
+// a barrier after every parallel loop and at the bottom of loop regions.
+func buildBaseline(sched *Schedule, rs *RegionSched, body []ir.Stmt) {
+	for _, s := range body {
+		rs.Groups = append(rs.Groups, Group{Stmts: []ir.Stmt{s}})
+		if sched.Modes[s] == region.ModeParallel {
+			rs.After = append(rs.After, Sync{Class: comm.ClassBarrier,
+				Reasons: []string{"baseline fork-join join barrier"}})
+		} else {
+			rs.After = append(rs.After, Sync{Class: comm.ClassNone})
+		}
+	}
+	// The bottom boundary of a loop region keeps whatever the last
+	// statement required (a barrier if it was a parallel loop), so no
+	// extra bottom barrier is added in the baseline.
+}
+
+// coveredPath reports whether any sync along the crossed boundaries covers
+// the flow; firstAtSource marks whether syncs[0] sits directly after the
+// flow's source group.
+func coveredPath(syncs []Sync, v comm.Verdict, firstAtSource bool) bool {
+	for i, s := range syncs {
+		if s.covers(v, firstAtSource && i == 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func combineV(a, b comm.Verdict) comm.Verdict {
+	out := comm.Verdict{
+		Exact:     a.Exact && b.Exact,
+		WaitLower: a.WaitLower || b.WaitLower,
+		WaitUpper: a.WaitUpper || b.WaitUpper,
+		Pairs:     append(append([]string(nil), a.Pairs...), b.Pairs...),
+	}
+	out.Class = a.Class
+	if b.Class > out.Class {
+		out.Class = b.Class
+	}
+	return out
+}
+
+// StaticCounts tallies synchronization sites by class across the whole
+// schedule (the paper's static table).
+type StaticCounts struct {
+	Barriers  int
+	Counters  int
+	Neighbors int
+	None      int
+}
+
+// Static returns the static synchronization-site counts.
+func (s *Schedule) Static() StaticCounts {
+	var c StaticCounts
+	tally := func(rs *RegionSched) {
+		for _, sy := range rs.After {
+			switch sy.Class {
+			case comm.ClassBarrier:
+				c.Barriers++
+			case comm.ClassCounter:
+				c.Counters++
+			case comm.ClassNeighbor:
+				c.Neighbors++
+			default:
+				c.None++
+			}
+		}
+	}
+	tally(s.Top)
+	for _, rs := range s.Regions {
+		tally(rs)
+	}
+	return c
+}
+
+// Dump renders the schedule for diagnostics.
+func (s *Schedule) Dump() string {
+	var sb strings.Builder
+	var dump func(rs *RegionSched, depth int)
+	dump = func(rs *RegionSched, depth int) {
+		ind := strings.Repeat("  ", depth)
+		for i, g := range rs.Groups {
+			fmt.Fprintf(&sb, "%sgroup %d:\n", ind, i)
+			for _, st := range g.Stmts {
+				fmt.Fprintf(&sb, "%s  %s [%s]\n", ind, ir.StmtString(st), s.Modes[st])
+				if s.Modes[st] == region.ModeSeqLoop {
+					dump(s.Regions[st.(*ir.Loop)], depth+2)
+				}
+			}
+			label := "sync"
+			if rs.Loop != nil && i == len(rs.Groups)-1 {
+				label = "loop-bottom sync"
+			}
+			fmt.Fprintf(&sb, "%s%s: %s\n", ind, label, rs.After[i])
+		}
+	}
+	dump(s.Top, 0)
+	return sb.String()
+}

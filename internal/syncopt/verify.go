@@ -1,0 +1,91 @@
+package syncopt
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/ir"
+	"repro/internal/region"
+)
+
+// Verify independently re-checks a schedule: for every ordered pair of
+// groups in every region (loop-independent) and every cross-iteration pair
+// (carried by the region's loop), the communication the analyzer reports
+// must be covered by the synchronization sitting on the boundaries the
+// flow crosses, under the same coverage rules the builder uses (barrier
+// covers all; counter covers only at the flow's source boundary; neighbor
+// covers neighbor flows with included directions).
+//
+// It returns one error per uncovered flow. The optimizer and this checker
+// share covers(), so Verify guards against bookkeeping bugs in the greedy
+// grouping (coverage windows, boundary indexing) rather than re-deriving
+// the theory — plus it re-runs the full communication analysis, so any
+// nondeterminism or IR mutation between Build and Verify also surfaces.
+func Verify(a *comm.Analyzer, sched *Schedule) []error {
+	var errs []error
+	var walk func(rs *RegionSched, outer []*ir.Loop)
+	walk = func(rs *RegionSched, outer []*ir.Loop) {
+		inner := outer
+		if rs.Loop != nil {
+			inner = append(append([]*ir.Loop(nil), outer...), rs.Loop)
+		}
+		n := len(rs.Groups)
+		// Loop-independent flows.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := a.Between(rs.Groups[i].Stmts, rs.Groups[j].Stmts, inner, nil)
+				if v.Class == comm.ClassNone {
+					continue
+				}
+				if !coveredPath(rs.After[i:j], v, true) {
+					errs = append(errs, fmt.Errorf(
+						"region %s: flow group %d -> group %d (%v) uncovered",
+						regionName(rs), i, j, v))
+				}
+			}
+		}
+		// Carried flows.
+		if rs.Loop != nil {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					v := a.Between(rs.Groups[i].Stmts, rs.Groups[j].Stmts, outer, rs.Loop)
+					if v.Class == comm.ClassNone {
+						continue
+					}
+					covered := false
+					// Boundaries i..n-1 of iteration k (the
+					// last one is the loop bottom), then
+					// 0..j-1 of iteration k+1.
+					for b := i; b < n && !covered; b++ {
+						covered = rs.After[b].covers(v, b == i)
+					}
+					for b := 0; b < j && !covered; b++ {
+						covered = rs.After[b].covers(v, false)
+					}
+					if !covered {
+						errs = append(errs, fmt.Errorf(
+							"region %s: carried flow group %d -> group %d (%v) uncovered",
+							regionName(rs), i, j, v))
+					}
+				}
+			}
+		}
+		// Recurse into nested regions.
+		for _, g := range rs.Groups {
+			for _, s := range g.Stmts {
+				if sched.Modes[s] == region.ModeSeqLoop {
+					walk(sched.Regions[s.(*ir.Loop)], inner)
+				}
+			}
+		}
+	}
+	walk(sched.Top, nil)
+	return errs
+}
+
+func regionName(rs *RegionSched) string {
+	if rs.Loop == nil {
+		return "<top>"
+	}
+	return "loop " + rs.Loop.Index
+}

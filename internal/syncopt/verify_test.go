@@ -1,0 +1,113 @@
+package syncopt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/deps"
+	"repro/internal/parallel"
+	"repro/internal/parser"
+	"repro/internal/region"
+)
+
+func buildWithAnalyzer(t *testing.T, src string, opts Options) (*comm.Analyzer, *Schedule) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ctx := deps.NewContext(prog, 1)
+	parallel.Parallelize(ctx)
+	plan := decomp.Build(prog, decomp.Block)
+	info := region.Classify(prog, plan.Wavefront)
+	a := comm.New(ctx, plan, info)
+	return a, Build(a, opts)
+}
+
+const verifySrc = `
+program vv
+param N, T
+real A(N), B(N), s, alpha
+do k = 1, T
+  do i = 2, N - 1
+    B(i) = 0.5 * (A(i - 1) + A(i + 1))
+  end do
+  do i = 2, N - 1
+    A(i) = B(i)
+  end do
+  s = 0.0
+  do i = 2, N - 1
+    s = s + A(i)
+  end do
+  alpha = s / N
+  do i = 2, N - 1
+    A(i) = A(i) / (alpha + 1.0)
+  end do
+end do
+end
+`
+
+func TestVerifyAcceptsOptimizedSchedules(t *testing.T) {
+	for name, opts := range map[string]Options{
+		"full":          {},
+		"noReplacement": {NoReplacement: true},
+		"noMerging":     {NoMerging: true},
+	} {
+		a, sched := buildWithAnalyzer(t, verifySrc, opts)
+		if errs := Verify(a, sched); len(errs) != 0 {
+			t.Errorf("%s: verify reported %d errors, first: %v\n%s",
+				name, len(errs), errs[0], sched.Dump())
+		}
+	}
+}
+
+func TestVerifyRejectsWeakenedSchedule(t *testing.T) {
+	a, sched := buildWithAnalyzer(t, verifySrc, Options{})
+	// Find a region boundary with real synchronization and erase it.
+	weakened := false
+	for _, rs := range sched.Regions {
+		for i := range rs.After {
+			if rs.After[i].Class != comm.ClassNone {
+				rs.After[i] = Sync{Class: comm.ClassNone}
+				weakened = true
+				break
+			}
+		}
+		if weakened {
+			break
+		}
+	}
+	if !weakened {
+		t.Fatalf("no synchronization found to weaken\n%s", sched.Dump())
+	}
+	errs := Verify(a, sched)
+	if len(errs) == 0 {
+		t.Fatalf("verify accepted a schedule with an erased sync\n%s", sched.Dump())
+	}
+	if !strings.Contains(errs[0].Error(), "uncovered") {
+		t.Errorf("unexpected error text: %v", errs[0])
+	}
+}
+
+func TestVerifyRejectsCounterMisuse(t *testing.T) {
+	// Downgrading a barrier to a counter at a non-source boundary must
+	// be rejected: counters only order their own group's producers.
+	a, sched := buildWithAnalyzer(t, verifySrc, Options{})
+	changed := false
+	for _, rs := range sched.Regions {
+		for i := range rs.After {
+			if rs.After[i].Class == comm.ClassBarrier {
+				rs.After[i].Class = comm.ClassNone
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Skip("no barrier in schedule to misuse")
+	}
+	if errs := Verify(a, sched); len(errs) == 0 {
+		t.Error("verify accepted erased barriers")
+	}
+}

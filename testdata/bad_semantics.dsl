@@ -1,0 +1,5 @@
+program broken2
+param N
+real A(N)
+A(1, 2) = 1.0
+end

@@ -1,0 +1,4 @@
+program broken
+real s
+s = * 2
+end

@@ -1,0 +1,13 @@
+# Guarded half-range smoothing: exercises affine guard analysis.
+program blockedsmooth
+param N
+real A(2 * N), B(2 * N), s
+parallel do i = 2, 2 * N - 1
+  if i <= N then
+    B(i) = 0.5 * (A(i - 1) + A(i + 1))
+  end if
+end do
+do i = 1, 2 * N
+  s = s + B(i)
+end do
+end

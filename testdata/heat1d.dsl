@@ -1,0 +1,13 @@
+# 1D heat diffusion: the README/tutorial example program.
+program heat1d
+param N, T
+real U(N), V(N)
+do k = 1, T
+  do i = 2, N - 1
+    V(i) = U(i) + 0.1 * (U(i - 1) - 2.0 * U(i) + U(i + 1))
+  end do
+  do i = 2, N - 1
+    U(i) = V(i)
+  end do
+end do
+end

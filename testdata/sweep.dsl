@@ -1,0 +1,10 @@
+# One-directional sweep: pipelines with a lower-neighbor wait only.
+program sweep
+param N, M
+real A(N, M)
+do k = 2, M
+  do i = 2, N
+    A(i, k) = 0.5 * A(i - 1, k - 1) + 0.5 * A(i, k - 1)
+  end do
+end do
+end
