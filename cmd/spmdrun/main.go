@@ -48,6 +48,11 @@ func main() {
 		barrier = flag.String("barrier", "central", "barrier implementation: central, tree, dissemination")
 		verify  = flag.Bool("verify", true, "compare against the sequential interpreter")
 		det     = flag.Bool("det", false, "deterministic (rank-ordered) reduction merges")
+
+		watchdog = flag.Duration("watchdog", 0, "stall deadline; a worker blocked this long aborts the run with a per-worker deadlock report (0 disables)")
+		chaos    = flag.Int64("chaos-seed", 0, "enable deterministic chaos injection with this seed (0 disables)")
+		sanitize = flag.Bool("sanitize", false, "run the schedule-soundness sanitizer and report unordered cross-worker flows")
+		sabotage = flag.Int("sabotage", 0, "drop the sync edge with this 1-based site number (testing aid; makes the schedule unsound)")
 	)
 	flag.Var(params, "param", "program parameter NAME=VALUE (repeatable)")
 	flag.Parse()
@@ -92,7 +97,11 @@ func main() {
 		fail(err)
 	}
 	cfg := exec.Config{Workers: *workers, Barrier: bk, Params: params,
-		DeterministicReductions: *det}
+		DeterministicReductions: *det,
+		WatchdogTimeout:         *watchdog,
+		ChaosSeed:               *chaos,
+		SabotageEdge:            *sabotage,
+		Sanitize:                *sanitize}
 	var runner *exec.Runner
 	switch *mode {
 	case "base":
@@ -114,6 +123,9 @@ func main() {
 	fmt.Printf("elapsed:  %s\n", res.Elapsed)
 	fmt.Printf("sync:     %s\n", res.Stats)
 	fmt.Printf("checksum: %.10g\n", res.State.Checksum())
+	if res.Sanitizer != nil {
+		fmt.Println(res.Sanitizer)
+	}
 
 	if *verify {
 		ref, err := c.RunSequential(params)
@@ -125,6 +137,9 @@ func main() {
 		if d > 1e-9 {
 			fail(fmt.Errorf("parallel execution diverged from sequential semantics"))
 		}
+	}
+	if res.Sanitizer != nil && !res.Sanitizer.Clean() {
+		fail(fmt.Errorf("sanitizer found unordered cross-worker flows"))
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/linear"
 	"repro/internal/region"
+	"repro/internal/sanitize"
 	"repro/internal/spmdrt"
 	"repro/internal/syncopt"
 )
@@ -48,6 +49,28 @@ type Config struct {
 	// merges use lock-free CAS in arrival order, so floating-point
 	// reduction results may differ across runs by roundoff.
 	DeterministicReductions bool
+	// WatchdogTimeout, when positive, arms the runtime stall watchdog: a
+	// run in which any worker blocks that long inside a sync primitive is
+	// aborted with a structured per-worker *spmdrt.DeadlockError instead
+	// of hanging.
+	WatchdogTimeout time.Duration
+	// ChaosSeed, when nonzero, enables deterministic seed-driven chaos
+	// injection: pre/post-sync delays, forced scheduler yields and a
+	// designated slow worker, stress-testing eliminated synchronization
+	// under adversarial thread timing.
+	ChaosSeed int64
+	// SabotageEdge, when positive, silently drops the scheduled sync edge
+	// with that 1-based site number (see Runner.NumSyncSites and
+	// Runner.SyncSiteClasses) on every worker. This deliberately makes
+	// the schedule unsound; it exists so tests can assert that the
+	// state-comparison oracle and the sanitizer actually detect a
+	// missing edge.
+	SabotageEdge int
+	// Sanitize enables the schedule-soundness sanitizer: every shared
+	// access and every executed sync edge is fed to a vector-clock
+	// tracker that flags cross-worker flows the schedule left unordered
+	// (Result.Sanitizer carries the report).
+	Sanitize bool
 }
 
 // Result carries the final state and the dynamic synchronization counts.
@@ -55,6 +78,8 @@ type Result struct {
 	State   *interp.State
 	Stats   spmdrt.StatsSnapshot
 	Elapsed time.Duration
+	// Sanitizer is the soundness audit (nil unless Config.Sanitize).
+	Sanitizer *sanitize.Report
 }
 
 // Runner executes one (program, schedule, plan) combination repeatedly.
@@ -66,6 +91,8 @@ type Runner struct {
 	// sites[rs][i] is the global sync-site id of boundary i of region rs.
 	sites  map[*syncopt.RegionSched][]int
 	nSites int
+	// siteClass[id] is the scheduled synchronization class at each site.
+	siteClass []comm.Class
 }
 
 // NewRunner validates the configuration and precomputes sync-site ids.
@@ -80,6 +107,7 @@ func NewRunner(prog *ir.Program, sched *syncopt.Schedule, plan *decomp.Plan, cfg
 		ids := make([]int, len(rs.After))
 		for i := range rs.After {
 			ids[i] = r.nSites
+			r.siteClass = append(r.siteClass, rs.After[i].Class)
 			r.nSites++
 		}
 		r.sites[rs] = ids
@@ -92,7 +120,23 @@ func NewRunner(prog *ir.Program, sched *syncopt.Schedule, plan *decomp.Plan, cfg
 		}
 	}
 	number(sched.Top)
+	if cfg.SabotageEdge < 0 || cfg.SabotageEdge > r.nSites {
+		return nil, fmt.Errorf("exec: SabotageEdge %d out of range (schedule has %d sync sites)",
+			cfg.SabotageEdge, r.nSites)
+	}
 	return r, nil
+}
+
+// NumSyncSites returns the number of scheduled sync sites (region
+// boundaries), the domain of Config.SabotageEdge.
+func (r *Runner) NumSyncSites() int { return r.nSites }
+
+// SyncSiteClasses returns the scheduled synchronization class of every
+// sync site, indexed by site id (SabotageEdge minus one). Sites with
+// comm.ClassNone are boundaries the optimizer proved need no
+// synchronization; sabotaging those is a no-op.
+func (r *Runner) SyncSiteClasses() []comm.Class {
+	return append([]comm.Class(nil), r.siteClass...)
 }
 
 // Run executes the program on a fresh deterministically-seeded state.
@@ -109,31 +153,43 @@ func (r *Runner) Run() (*Result, error) {
 func (r *Runner) RunOn(st *interp.State) (*Result, error) {
 	ps := newPState(st)
 	team := spmdrt.NewTeam(r.cfg.Workers, r.cfg.Barrier)
+	if r.cfg.WatchdogTimeout > 0 {
+		team.SetWatchdog(r.cfg.WatchdogTimeout)
+	}
 	run := &teamRun{
 		Runner:    r,
 		ps:        ps,
 		team:      team,
 		counters:  make([]*spmdrt.Counter, r.nSites),
 		p2ps:      make([]*spmdrt.P2P, r.nSites),
-		dispatch:  spmdrt.NewCounter(),
+		dispatch:  team.NewCounter(),
 		errs:      make([]error, r.cfg.Workers),
 		redChain:  map[*ir.Loop]*spmdrt.P2P{},
 		waveChain: map[*ir.Loop]*spmdrt.P2P{},
+		sabotage:  r.cfg.SabotageEdge - 1,
+	}
+	run.dispatch.Site = "fork-join dispatch"
+	if r.cfg.ChaosSeed != 0 {
+		run.chaos = spmdrt.NewChaos(r.cfg.ChaosSeed, r.cfg.Workers)
+	}
+	if r.cfg.Sanitize {
+		run.san = newSanRun(r.prog, ps, r.cfg.Workers)
 	}
 	for l := range r.plan.Wavefront {
-		run.waveChain[l] = spmdrt.NewP2P(r.cfg.Workers)
+		run.waveChain[l] = team.NewP2P()
 	}
 	if r.cfg.DeterministicReductions {
 		ir.WalkStmts(r.prog.Body, func(s ir.Stmt) bool {
 			if l, ok := s.(*ir.Loop); ok && l.Parallel && len(l.Reductions) > 0 {
-				run.redChain[l] = spmdrt.NewP2P(r.cfg.Workers)
+				run.redChain[l] = team.NewP2P()
 			}
 			return true
 		})
 	}
 	for i := 0; i < r.nSites; i++ {
-		run.counters[i] = spmdrt.NewCounter()
-		run.p2ps[i] = spmdrt.NewP2P(r.cfg.Workers)
+		run.counters[i] = team.NewCounter()
+		run.counters[i].Site = fmt.Sprintf("sync site %d", i+1)
+		run.p2ps[i] = team.NewP2P()
 	}
 	// In SPMD mode, scalars written only by replicated statements live in
 	// per-worker storage (the paper's replicated computation model);
@@ -147,7 +203,7 @@ func (r *Runner) RunOn(st *interp.State) (*Result, error) {
 	repl0 := map[string]*float64{}
 
 	start := time.Now()
-	team.Run(func(w int) {
+	runErr := team.Run(func(w int) {
 		ws := &workerState{
 			run:       run,
 			w:         w,
@@ -155,6 +211,10 @@ func (r *Runner) RunOn(st *interp.State) (*Result, error) {
 			cum:       make([]int64, r.nSites),
 			cross:     make([]int64, r.nSites),
 			activeBuf: make([]bool, r.cfg.Workers),
+		}
+		if run.san != nil {
+			ws.env.san = run.san.tr
+			ws.env.sw = w
 		}
 		for _, name := range replNames {
 			cell := new(float64)
@@ -170,6 +230,11 @@ func (r *Runner) RunOn(st *interp.State) (*Result, error) {
 		run.errs[w] = ws.err
 	})
 	elapsed := time.Since(start)
+	if runErr != nil {
+		// A watchdog deadlock report or a recovered worker panic: the
+		// run was aborted, shared state is not meaningful.
+		return nil, runErr
+	}
 	for _, e := range run.errs {
 		if e != nil {
 			return nil, e
@@ -181,7 +246,11 @@ func (r *Runner) RunOn(st *interp.State) (*Result, error) {
 		}
 	}
 	ps.flushTo(st)
-	return &Result{State: st, Stats: team.Stats.Snapshot(), Elapsed: elapsed}, nil
+	res := &Result{State: st, Stats: team.Stats.Snapshot(), Elapsed: elapsed}
+	if run.san != nil {
+		res.Sanitizer = run.san.tr.Report()
+	}
+	return res, nil
 }
 
 // teamRun is the shared per-run context.
@@ -198,6 +267,12 @@ type teamRun struct {
 	redChain map[*ir.Loop]*spmdrt.P2P
 	// waveChain holds the relay handoff counters of each wavefront loop.
 	waveChain map[*ir.Loop]*spmdrt.P2P
+	// chaos is the optional deterministic perturbation layer (nil-safe).
+	chaos *spmdrt.Chaos
+	// san is the optional schedule-soundness sanitizer wiring.
+	san *sanRun
+	// sabotage is the sync-site id to silently drop (-1 for none).
+	sabotage int
 }
 
 // workerState is one worker's execution context.
@@ -248,17 +323,35 @@ func (ws *workerState) execTop(s ir.Stmt) {
 		if forkJoin {
 			// Fork-join dispatch: master signals that preceding
 			// sequential work is complete.
+			run := ws.run
+			run.chaos.PreSync(ws.w)
 			ws.dispatchSeq++
 			if ws.w == 0 {
-				ws.run.team.Stats.Dispatches.Add(1)
-				ws.run.dispatch.Add(1)
+				run.team.Stats.Dispatches.Add(1)
+				if run.san != nil {
+					run.san.tr.CounterPost(run.dispatch, ws.w)
+				}
+				run.dispatch.Add(1)
 			} else {
-				ws.run.dispatch.WaitGE(ws.dispatchSeq)
+				run.dispatch.WaitGEAs(ws.w, ws.dispatchSeq)
+				if run.san != nil {
+					run.san.tr.CounterJoin(run.dispatch, ws.w)
+				}
 			}
+			run.chaos.PostSync(ws.w)
 		}
 		ws.execParallelSlice(l)
 	case region.ModeReplicated:
 		if forkJoin && ws.w != 0 {
+			return
+		}
+		if !forkJoin {
+			// Every worker executes the statement with identical inputs
+			// (the paper's replicated computation model); any shared store
+			// is a same-value store, which the sanitizer must exempt.
+			ws.env.repl = true
+			ws.seqExec([]ir.Stmt{s})
+			ws.env.repl = false
 			return
 		}
 		ws.seqExec([]ir.Stmt{s})
@@ -325,9 +418,15 @@ func (ws *workerState) execWavefront(l *ir.Loop) {
 	}
 	ws.redInstance[l]++
 	inst := ws.redInstance[l]
+	run := ws.run
 	if ws.w > 0 {
-		ws.run.team.Stats.NeighborWaits.Add(1)
-		chain.WaitFor(ws.w-1, inst)
+		run.team.Stats.NeighborWaits.Add(1)
+		run.chaos.PreSync(ws.w)
+		chain.WaitForAs(ws.w, ws.w-1, inst)
+		if run.san != nil {
+			run.san.tr.P2PJoin(chain, ws.w, ws.w-1)
+		}
+		run.chaos.PostSync(ws.w)
 	}
 	start, end, step, err := ws.slice(l, lo, hi, ws.w)
 	if err != nil {
@@ -338,6 +437,9 @@ func (ws *workerState) execWavefront(l *ir.Loop) {
 			ws.seqExec(l.Body)
 		}
 		delete(e.idx, l.Index)
+	}
+	if run.san != nil {
+		run.san.tr.P2PPost(chain, ws.w)
 	}
 	chain.Post(ws.w)
 }
@@ -403,16 +505,24 @@ func (ws *workerState) execParallelSlice(l *ir.Loop) {
 		if chain := ws.run.redChain[l]; chain != nil {
 			// Rank-ordered merge: wait for the previous worker's
 			// merge of this loop instance, merge, then post.
+			run := ws.run
 			if ws.redInstance == nil {
 				ws.redInstance = map[*ir.Loop]int64{}
 			}
 			ws.redInstance[l]++
 			inst := ws.redInstance[l]
 			if ws.w > 0 {
-				chain.WaitFor(ws.w-1, inst)
+				run.chaos.PreSync(ws.w)
+				chain.WaitForAs(ws.w, ws.w-1, inst)
+				if run.san != nil {
+					run.san.tr.P2PJoin(chain, ws.w, ws.w-1)
+				}
 			}
 			for _, rc := range reds {
 				e.ps.mergeScalar(rc.idx, *rc.c, rc.op)
+			}
+			if run.san != nil {
+				run.san.tr.P2PPost(chain, ws.w)
 			}
 			chain.Post(ws.w)
 		} else {
@@ -483,6 +593,9 @@ func (ws *workerState) seqExec(stmts []ir.Stmt) {
 		if ws.err != nil {
 			return
 		}
+		if san := ws.run.san; san != nil {
+			ws.env.site = san.siteOf[s]
+		}
 		switch n := s.(type) {
 		case *ir.Assign:
 			ws.fail(ws.env.assign(n))
@@ -521,31 +634,59 @@ func (ws *workerState) seqExec(stmts []ir.Stmt) {
 func (ws *workerState) applySync(rs *syncopt.RegionSched, gi, site int) {
 	sync := rs.After[gi]
 	run := ws.run
-	switch sync.Class {
-	case comm.ClassNone:
+	if sync.Class == comm.ClassNone {
 		return
+	}
+	if site == run.sabotage {
+		// Schedule sabotage: this edge is deliberately dropped (on every
+		// worker) so tests can prove the oracle/sanitizer catches the
+		// resulting unordered flows.
+		return
+	}
+	run.chaos.PreSync(ws.w)
+	defer run.chaos.PostSync(ws.w)
+	switch sync.Class {
 	case comm.ClassBarrier:
-		run.team.Barrier(ws.w)
+		if run.san != nil {
+			run.san.tr.Barrier(ws.w, func() { run.team.Barrier(ws.w) })
+		} else {
+			run.team.Barrier(ws.w)
+		}
 	case comm.ClassCounter:
 		self, total := ws.groupActivity(rs.Groups[gi])
 		ws.cum[site] += int64(total)
 		if self {
 			run.team.Stats.CounterIncrs.Add(1)
+			if run.san != nil {
+				run.san.tr.CounterPost(run.counters[site], ws.w)
+			}
 			run.counters[site].Add(1)
 		}
 		run.team.Stats.CounterWaits.Add(1)
-		run.counters[site].WaitGE(ws.cum[site])
+		run.counters[site].WaitGEAs(ws.w, ws.cum[site])
+		if run.san != nil {
+			run.san.tr.CounterJoin(run.counters[site], ws.w)
+		}
 	case comm.ClassNeighbor:
 		ws.cross[site]++
 		c := ws.cross[site]
+		if run.san != nil {
+			run.san.tr.P2PPost(run.p2ps[site], ws.w)
+		}
 		run.p2ps[site].Post(ws.w)
 		if sync.WaitLower && ws.w > 0 {
 			run.team.Stats.NeighborWaits.Add(1)
-			run.p2ps[site].WaitFor(ws.w-1, c)
+			run.p2ps[site].WaitForAs(ws.w, ws.w-1, c)
+			if run.san != nil {
+				run.san.tr.P2PJoin(run.p2ps[site], ws.w, ws.w-1)
+			}
 		}
 		if sync.WaitUpper && ws.w < run.cfg.Workers-1 {
 			run.team.Stats.NeighborWaits.Add(1)
-			run.p2ps[site].WaitFor(ws.w+1, c)
+			run.p2ps[site].WaitForAs(ws.w, ws.w+1, c)
+			if run.san != nil {
+				run.san.tr.P2PJoin(run.p2ps[site], ws.w, ws.w+1)
+			}
 		}
 	}
 }

@@ -190,5 +190,26 @@ func TestFuzzPipelineEquivalence(t *testing.T) {
 				}
 			}
 		}
+		// Robustness pass: the same program under chaos injection (seed
+		// derived from the fuzz seed) with the soundness sanitizer. The
+		// optimized schedule must survive adversarial timing and leave no
+		// unordered cross-worker flows.
+		r, err := c.NewRunner(exec.Config{Workers: 5, Params: params, Mode: exec.SPMD,
+			ChaosSeed: seed*2654435761 + 1, Sanitize: true})
+		if err != nil {
+			t.Fatalf("seed %d: chaos runner: %v", seed, err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatalf("seed %d chaos: run: %v\n%s", seed, err, src)
+		}
+		if d := exec.ComparableDiff(ref, res.State, c.Prog); d > tol {
+			t.Fatalf("seed %d chaos diverges by %g\n--- source ---\n%s\n--- schedule ---\n%s",
+				seed, d, src, c.Schedule.Dump())
+		}
+		if !res.Sanitizer.Clean() {
+			t.Fatalf("seed %d: sanitizer flagged the verified schedule:\n%s\n--- source ---\n%s\n--- schedule ---\n%s",
+				seed, res.Sanitizer, src, c.Schedule.Dump())
+		}
 	}
 }

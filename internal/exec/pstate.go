@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/sanitize"
 )
 
 // pstate is the shared storage of one parallel execution. Array elements
@@ -113,6 +114,14 @@ type wenv struct {
 	// priv maps privatized/reduction scalar names to worker-local cells;
 	// nil entries mean the name is currently shared.
 	priv map[string]*float64
+	// san, when non-nil, receives every shared read/write for the
+	// schedule-soundness audit; sw is this worker's rank, site the id of
+	// the statement currently executing, and repl marks replicated-mode
+	// execution (same-value stores from every worker, exempt from checks).
+	san  *sanitize.Tracker
+	sw   int
+	site uint16
+	repl bool
 }
 
 func newWenv(ps *pstate) *wenv {
@@ -207,6 +216,9 @@ func (e *wenv) readName(name string, pos ir.Pos) (float64, error) {
 		return *cell, nil
 	}
 	if i, ok := e.ps.scalarIdx[name]; ok {
+		if e.san != nil {
+			e.san.Read(e.sw, name, 0, e.site)
+		}
 		return e.ps.loadScalar(i), nil
 	}
 	return 0, fmt.Errorf("%s: unknown name %s", pos, name)
@@ -227,6 +239,9 @@ func (e *wenv) evalFloat(x ir.Expr) (float64, error) {
 		off, err := e.offset(a, n.Subs, n.P)
 		if err != nil {
 			return 0, err
+		}
+		if e.san != nil {
+			e.san.Read(e.sw, n.Name, off, e.site)
 		}
 		return a.Data[off], nil
 	case *ir.Unary:
@@ -393,6 +408,9 @@ func (e *wenv) assign(a *ir.Assign) error {
 		if err != nil {
 			return err
 		}
+		if e.san != nil {
+			e.san.Write(e.sw, lhs.Name, off, e.site, e.repl)
+		}
 		arr.Data[off] = v
 		return nil
 	}
@@ -401,6 +419,9 @@ func (e *wenv) assign(a *ir.Assign) error {
 		return nil
 	}
 	if i, ok := e.ps.scalarIdx[lhs.Name]; ok {
+		if e.san != nil {
+			e.san.Write(e.sw, lhs.Name, 0, e.site, e.repl)
+		}
 		e.ps.storeScalar(i, v)
 		return nil
 	}

@@ -1,0 +1,268 @@
+package exec_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/suite"
+)
+
+// clampParams shrinks the suite's table-sized inputs (up to N=65536) to
+// chaos-test scale: chaos injection adds microsecond sleeps around every
+// sync, so problem sizes must stay small for the full 16-kernel sweep.
+// Size parameters are scaled by a common factor so coupled extents (e.g.
+// mg2level's fine grid N = 2M) keep their relationship.
+func clampParams(p map[string]int64) map[string]int64 {
+	const cap = 48
+	var max int64 = 1
+	for k, v := range p {
+		if k != "T" && v > max {
+			max = v
+		}
+	}
+	out := map[string]int64{}
+	for k, v := range p {
+		if k == "T" {
+			if v > 4 {
+				v = 4
+			}
+		} else if max > cap {
+			orig := v
+			if v = v * cap / max; v < 8 {
+				// Floor small coupled params so loops like `do k = 2, M`
+				// don't become empty (never above the original value).
+				if v = 8; orig < v {
+					v = orig
+				}
+			}
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// TestSuiteUnderChaosWithSanitizer runs every suite kernel in both modes
+// under deterministic chaos injection with the soundness sanitizer and the
+// watchdog armed: the optimized schedules must stay correct under
+// adversarial timing, produce zero sanitizer violations, and never stall.
+func TestSuiteUnderChaosWithSanitizer(t *testing.T) {
+	for _, k := range suite.Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			params := clampParams(k.Params)
+			c, err := core.Compile(k.Source, core.Options{})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			ref, err := c.RunSequential(params)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			for _, mode := range []exec.Mode{exec.ForkJoin, exec.SPMD} {
+				for _, seed := range []int64{1, 7} {
+					cfg := exec.Config{
+						Workers:         4,
+						Params:          params,
+						Mode:            mode,
+						ChaosSeed:       seed,
+						Sanitize:        true,
+						WatchdogTimeout: 60 * time.Second,
+					}
+					var r *exec.Runner
+					if mode == exec.ForkJoin {
+						r, err = c.NewBaselineRunner(cfg)
+					} else {
+						r, err = c.NewRunner(cfg)
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := r.Run()
+					if err != nil {
+						t.Fatalf("%v chaos=%d: %v", mode, seed, err)
+					}
+					tol := k.Tol
+					if tol == 0 {
+						tol = 1e-12
+					}
+					if d := exec.ComparableDiff(ref, res.State, c.Prog); d > tol {
+						t.Errorf("%v chaos=%d diverges: diff=%g\n%s",
+							mode, seed, d, c.Schedule.Dump())
+					}
+					if res.Sanitizer == nil {
+						t.Fatalf("%v chaos=%d: no sanitizer report", mode, seed)
+					}
+					if !res.Sanitizer.Clean() {
+						t.Errorf("%v chaos=%d: sanitizer flagged a sound schedule:\n%s",
+							mode, seed, res.Sanitizer)
+					}
+					if res.Sanitizer.Reads == 0 && res.Sanitizer.Writes == 0 {
+						t.Errorf("%v chaos=%d: sanitizer observed no shared accesses", mode, seed)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSabotagedScheduleIsCaught drops each scheduled sync edge in turn and
+// asserts the harness notices: either the sanitizer reports the now-missing
+// edge or the result diverges from the sequential oracle. This validates
+// the oracle itself — a checker that cannot see a deliberately broken
+// schedule would be worthless evidence of soundness.
+func TestSabotagedScheduleIsCaught(t *testing.T) {
+	cases := []string{"jacobi1d", "pivotBroadcast", "twoDstencil", "conditionalRedBlack"}
+	byName := map[string]int{}
+	for i, k := range kernels {
+		byName[k.name] = i
+	}
+	for _, name := range cases {
+		k := kernels[byName[name]]
+		t.Run(k.name, func(t *testing.T) {
+			t.Parallel()
+			c, err := core.Compile(k.src, core.Options{})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			ref, err := c.RunSequential(k.params)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			base := exec.Config{Workers: 4, Params: k.params, Mode: exec.SPMD, Sanitize: true}
+			probe, err := c.NewRunner(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			classes := probe.SyncSiteClasses()
+
+			// Baseline sanity: the unsabotaged schedule must be clean, or
+			// detection below would be meaningless.
+			res, err := probe.Run()
+			if err != nil {
+				t.Fatalf("unsabotaged run: %v", err)
+			}
+			if !res.Sanitizer.Clean() {
+				t.Fatalf("unsabotaged schedule already flagged:\n%s", res.Sanitizer)
+			}
+
+			tol := k.tol
+			if tol == 0 {
+				tol = 1e-12
+			}
+			realEdges, caught, sanFlagged := 0, 0, 0
+			for site, class := range classes {
+				if class == comm.ClassNone {
+					continue // nothing is executed there; dropping it is a no-op
+				}
+				realEdges++
+				cfg := base
+				cfg.SabotageEdge = site + 1
+				cfg.WatchdogTimeout = 60 * time.Second
+				r, err := c.NewRunner(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := r.Run()
+				if err != nil {
+					// A watchdog/deadlock abort also counts as detection.
+					caught++
+					continue
+				}
+				diverged := exec.ComparableDiff(ref, res.State, c.Prog) > tol
+				flagged := !res.Sanitizer.Clean()
+				if flagged {
+					sanFlagged++
+				}
+				if flagged || diverged {
+					caught++
+				} else {
+					t.Errorf("site %d (%v): dropped edge escaped both the sanitizer and the oracle",
+						site+1, class)
+				}
+			}
+			if realEdges == 0 {
+				t.Fatal("kernel schedules no sync edges; pick a different kernel")
+			}
+			if sanFlagged == 0 {
+				// The state oracle is timing-sensitive; the sanitizer must
+				// contribute deterministic evidence on every kernel.
+				t.Errorf("sanitizer flagged none of %d dropped edges", realEdges)
+			}
+			t.Logf("%s: %d/%d sabotaged edges caught (%d flagged by sanitizer)",
+				k.name, caught, realEdges, sanFlagged)
+		})
+	}
+}
+
+// TestSabotageEdgeValidation covers the Config range check.
+func TestSabotageEdgeValidation(t *testing.T) {
+	c, err := core.Compile(kernels[0].src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := c.NewRunner(exec.Config{Workers: 2, Params: kernels[0].params, Mode: exec.SPMD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := probe.NumSyncSites()
+	if n == 0 {
+		t.Fatal("jacobi1d schedule has no sync sites")
+	}
+	for _, bad := range []int{-1, n + 1} {
+		if _, err := c.NewRunner(exec.Config{Workers: 2, Params: kernels[0].params,
+			Mode: exec.SPMD, SabotageEdge: bad}); err == nil {
+			t.Errorf("SabotageEdge=%d accepted (schedule has %d sites)", bad, n)
+		}
+	}
+}
+
+// TestChaosRunsAreDeterministic checks that chaos injection leaves results
+// bitwise reproducible when merges are rank-ordered.
+func TestChaosRunsAreDeterministic(t *testing.T) {
+	k := kernels[2] // reduction kernel
+	c, err := core.Compile(k.src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() float64 {
+		r, err := c.NewRunner(exec.Config{Workers: 5, Params: k.params, Mode: exec.SPMD,
+			ChaosSeed: 1234, DeterministicReductions: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.State.Scalars["s"]
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("chaos run differed: %v vs %v", got, first)
+		}
+	}
+}
+
+// TestWatchdogSurfacesInExec arms a tiny watchdog over a healthy kernel:
+// it must NOT fire (sync progresses), proving the deadline measures stalls
+// rather than total runtime.
+func TestWatchdogSurfacesInExec(t *testing.T) {
+	k := kernels[0]
+	c, err := core.Compile(k.src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.NewRunner(exec.Config{Workers: 4, Params: k.params, Mode: exec.SPMD,
+		WatchdogTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatalf("healthy kernel tripped the watchdog: %v", err)
+	}
+}

@@ -1,0 +1,37 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/sanitize"
+)
+
+// sanRun wires the schedule-soundness sanitizer into one execution: the
+// tracker itself plus the interned site id of every statement, so a flagged
+// unordered flow names the exact statement pair instead of a raw address.
+type sanRun struct {
+	tr *sanitize.Tracker
+	// siteOf maps each statement to its interned source-site id.
+	siteOf map[ir.Stmt]uint16
+}
+
+// newSanRun registers every shared location (arrays by element count,
+// scalars as single cells) and interns a site description for every
+// statement of the program. Runs single-threaded before the team starts.
+func newSanRun(prog *ir.Program, ps *pstate, workers int) *sanRun {
+	sr := &sanRun{tr: sanitize.New(workers), siteOf: map[ir.Stmt]uint16{}}
+	for _, a := range prog.Arrays {
+		if av := ps.arrays[a.Name]; av != nil {
+			sr.tr.Register(a.Name, int64(len(av.Data)))
+		}
+	}
+	for _, s := range prog.Scalars {
+		sr.tr.Register(s, 1)
+	}
+	ir.WalkStmts(prog.Body, func(s ir.Stmt) bool {
+		sr.siteOf[s] = sr.tr.Site(fmt.Sprintf("%s: %s", s.Pos(), ir.StmtString(s)))
+		return true
+	})
+	return sr
+}

@@ -1,0 +1,273 @@
+package sanitize
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// run executes fn(w) on n goroutines and waits.
+func run(n int, fn func(w int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func(w int) { defer wg.Done(); fn(w) }(w)
+	}
+	wg.Wait()
+}
+
+// barrier builds a reusable real barrier for n goroutines so tests can
+// give the tracker genuine all-arrive semantics.
+func barrier(n int) func() {
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	count, gen := 0, 0
+	return func() {
+		mu.Lock()
+		g := gen
+		count++
+		if count == n {
+			count = 0
+			gen++
+			cond.Broadcast()
+		} else {
+			for gen == g {
+				cond.Wait()
+			}
+		}
+		mu.Unlock()
+	}
+}
+
+func TestBarrierOrderedFlowIsClean(t *testing.T) {
+	const n = 4
+	tr := New(n)
+	tr.Register("a", n)
+	w1 := tr.Site("write phase")
+	r1 := tr.Site("read phase")
+	bar := barrier(n)
+	run(n, func(w int) {
+		tr.Write(w, "a", int64(w), w1, false)
+		tr.Barrier(w, bar)
+		tr.Read(w, "a", int64((w+1)%n), r1)
+	})
+	rep := tr.Report()
+	if !rep.Clean() {
+		t.Fatalf("ordered flow flagged:\n%s", rep)
+	}
+	if rep.Reads != n || rep.Writes != n {
+		t.Errorf("reads/writes = %d/%d, want %d/%d", rep.Reads, rep.Writes, n, n)
+	}
+}
+
+func TestMissingBarrierIsFlagged(t *testing.T) {
+	const n = 2
+	tr := New(n)
+	tr.Register("a", n)
+	w1 := tr.Site("producer: a[i] = ...")
+	r1 := tr.Site("consumer: ... = a[i+1]")
+	// Sequential interleaving that a dropped barrier would permit: worker 0
+	// writes, worker 1 reads the element with no sync edge between them.
+	tr.Write(0, "a", 1, w1, false)
+	tr.Read(1, "a", 1, r1)
+	rep := tr.Report()
+	if rep.Clean() {
+		t.Fatal("unordered read-after-write not flagged")
+	}
+	v := rep.Violations[0]
+	if v.Kind != "read-after-write" {
+		t.Errorf("kind = %q", v.Kind)
+	}
+	if v.PrevWorker != 0 || v.Worker != 1 {
+		t.Errorf("workers = %d -> %d, want 0 -> 1", v.PrevWorker, v.Worker)
+	}
+	if !strings.Contains(v.PrevSite, "producer") || !strings.Contains(v.Site, "consumer") {
+		t.Errorf("violation does not name the statement pair: %s", v)
+	}
+}
+
+func TestUnorderedWritesFlagged(t *testing.T) {
+	tr := New(2)
+	tr.Register("x", 1)
+	s0 := tr.Site("first write")
+	s1 := tr.Site("second write")
+	tr.Write(0, "x", 0, s0, false)
+	tr.Write(1, "x", 0, s1, false)
+	rep := tr.Report()
+	if rep.Clean() || rep.Violations[0].Kind != "write-after-write" {
+		t.Fatalf("unordered write-after-write not flagged:\n%s", rep)
+	}
+}
+
+func TestWriteAfterReadFlagged(t *testing.T) {
+	tr := New(2)
+	tr.Register("x", 1)
+	sr := tr.Site("the read")
+	sw := tr.Site("the write")
+	tr.Read(0, "x", 0, sr)
+	tr.Write(1, "x", 0, sw, false)
+	rep := tr.Report()
+	if rep.Clean() || rep.Violations[0].Kind != "write-after-read" {
+		t.Fatalf("unordered write-after-read not flagged:\n%s", rep)
+	}
+}
+
+func TestSameWorkerNeverFlagged(t *testing.T) {
+	tr := New(2)
+	tr.Register("a", 4)
+	s := tr.Site("s")
+	for i := int64(0); i < 4; i++ {
+		tr.Write(0, "a", i, s, false)
+		tr.Read(0, "a", i, s)
+		tr.Write(0, "a", i, s, false)
+	}
+	if rep := tr.Report(); !rep.Clean() {
+		t.Fatalf("same-worker accesses flagged:\n%s", rep)
+	}
+}
+
+func TestCounterEdgeOrders(t *testing.T) {
+	tr := New(2)
+	tr.Register("x", 1)
+	s := tr.Site("s")
+	key := "counter-0"
+	// Producer writes, posts; consumer joins, reads — ordered.
+	tr.Write(0, "x", 0, s, false)
+	tr.CounterPost(key, 0)
+	tr.CounterJoin(key, 1)
+	tr.Read(1, "x", 0, s)
+	if rep := tr.Report(); !rep.Clean() {
+		t.Fatalf("counter-ordered flow flagged:\n%s", rep)
+	}
+}
+
+func TestCounterPostAfterWriteDoesNotOrder(t *testing.T) {
+	tr := New(2)
+	tr.Register("x", 1)
+	s := tr.Site("s")
+	key := "counter-0"
+	// The post happens BEFORE the write: the consumer's join must not
+	// cover the write (release tick separates them).
+	tr.CounterPost(key, 0)
+	tr.Write(0, "x", 0, s, false)
+	tr.CounterJoin(key, 1)
+	tr.Read(1, "x", 0, s)
+	if rep := tr.Report(); rep.Clean() {
+		t.Fatal("write after post wrongly considered ordered")
+	}
+}
+
+func TestP2PEdgeOrders(t *testing.T) {
+	tr := New(3)
+	tr.Register("x", 3)
+	s := tr.Site("s")
+	chain := "chain"
+	// Relay 0 -> 1 -> 2: each worker writes its slot, posts; the next
+	// joins and reads it.
+	tr.Write(0, "x", 0, s, false)
+	tr.P2PPost(chain, 0)
+	tr.P2PJoin(chain, 1, 0)
+	tr.Read(1, "x", 0, s)
+	tr.Write(1, "x", 1, s, false)
+	tr.P2PPost(chain, 1)
+	tr.P2PJoin(chain, 2, 1)
+	tr.Read(2, "x", 0, s) // transitively ordered through worker 1's join
+	tr.Read(2, "x", 1, s)
+	if rep := tr.Report(); !rep.Clean() {
+		t.Fatalf("p2p-ordered relay flagged:\n%s", rep)
+	}
+}
+
+func TestP2PWrongProducerDoesNotOrder(t *testing.T) {
+	tr := New(3)
+	tr.Register("x", 1)
+	s := tr.Site("s")
+	chain := "chain"
+	tr.Write(0, "x", 0, s, false)
+	tr.P2PPost(chain, 0)
+	tr.P2PJoin(chain, 2, 1) // joined the WRONG producer's slot
+	tr.Read(2, "x", 0, s)
+	if rep := tr.Report(); rep.Clean() {
+		t.Fatal("read ordered only against the wrong producer was not flagged")
+	}
+}
+
+func TestReplicatedWritesExempt(t *testing.T) {
+	const n = 4
+	tr := New(n)
+	tr.Register("x", 1)
+	s := tr.Site("replicated: x = 1")
+	r := tr.Site("read")
+	// Every worker stores the same value with no mutual ordering, then
+	// everyone reads it — the paper's replicated computation model.
+	run(n, func(w int) {
+		tr.Write(w, "x", 0, s, true)
+	})
+	run(n, func(w int) {
+		tr.Read(w, "x", 0, r)
+	})
+	if rep := tr.Report(); !rep.Clean() {
+		t.Fatalf("replicated stores flagged:\n%s", rep)
+	}
+}
+
+func TestViolationDedupAndCount(t *testing.T) {
+	tr := New(2)
+	tr.Register("a", 100)
+	sw := tr.Site("w")
+	sr := tr.Site("r")
+	for i := int64(0); i < 100; i++ {
+		tr.Write(0, "a", i, sw, false)
+		tr.Read(1, "a", i, sr)
+	}
+	rep := tr.Report()
+	if len(rep.Violations) != 1 {
+		t.Fatalf("%d violation patterns, want 1 (deduped)", len(rep.Violations))
+	}
+	if rep.Violations[0].Count != 100 {
+		t.Errorf("count = %d, want 100", rep.Violations[0].Count)
+	}
+}
+
+func TestBarrierEpisodesStayDistinct(t *testing.T) {
+	// Writes AFTER a worker's barrier arrival must not be covered by that
+	// barrier's join for other workers (release tick), across many episodes.
+	const n = 3
+	tr := New(n)
+	tr.Register("a", n)
+	s := tr.Site("s")
+	bar := barrier(n)
+	run(n, func(w int) {
+		for ep := 0; ep < 10; ep++ {
+			tr.Write(w, "a", int64(w), s, false)
+			tr.Barrier(w, bar)
+			tr.Read(w, "a", int64((w+1)%n), s)
+			tr.Barrier(w, bar) // separate read and next-round write phases
+		}
+	})
+	if rep := tr.Report(); !rep.Clean() {
+		t.Fatalf("multi-episode barrier flow flagged:\n%s", rep)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	tr := New(2)
+	tr.Register("x", 1)
+	tr.Write(0, "x", 0, tr.Site("w0"), false)
+	tr.Write(1, "x", 0, tr.Site("w1"), false)
+	out := tr.Report().String()
+	for _, want := range []string{"sanitizer:", "write-after-write", "w0", "w1", "no scheduled sync edge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report %q missing %q", out, want)
+		}
+	}
+}
+
+func TestNewPanicsOnBadWorkerCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,99 @@
+package spmdrt
+
+import (
+	"testing"
+)
+
+func TestChaosDeterministicDecisions(t *testing.T) {
+	// Two layers built from the same seed must make identical perturbation
+	// decisions per worker, regardless of wall-clock timing.
+	a := NewChaos(42, 4)
+	b := NewChaos(42, 4)
+	if a.SlowWorker() != b.SlowWorker() {
+		t.Fatalf("slow worker differs: %d vs %d", a.SlowWorker(), b.SlowWorker())
+	}
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 200; i++ {
+			ca, cb := a.perturb(w), b.perturb(w)
+			if ca != cb {
+				t.Fatalf("worker %d decision %d differs: %d vs %d", w, i, ca, cb)
+			}
+		}
+	}
+}
+
+func TestChaosSeedsDiffer(t *testing.T) {
+	a := NewChaos(1, 4)
+	b := NewChaos(2, 4)
+	same := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		if a.perturb(0) == b.perturb(0) {
+			same++
+		}
+	}
+	if same == trials {
+		t.Error("seeds 1 and 2 produced identical decision streams")
+	}
+}
+
+func TestChaosWorkerStreamsDiffer(t *testing.T) {
+	c := NewChaos(7, 2)
+	same := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		if c.perturb(0) == c.perturb(1) {
+			same++
+		}
+	}
+	if same == trials {
+		t.Error("workers 0 and 1 share a decision stream")
+	}
+}
+
+func TestChaosNilSafe(t *testing.T) {
+	var c *Chaos
+	c.PreSync(0)
+	c.PostSync(3)
+	if c.SlowWorker() != -1 {
+		t.Errorf("nil SlowWorker() = %d, want -1", c.SlowWorker())
+	}
+}
+
+func TestChaosSlowWorkerInRange(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		c := NewChaos(seed, 5)
+		if s := c.SlowWorker(); s < 0 || s >= 5 {
+			t.Errorf("seed %d: slow worker %d out of range", seed, s)
+		}
+	}
+}
+
+func TestChaosUnderTeam(t *testing.T) {
+	// Chaos perturbation around every sync must never break barrier
+	// semantics — this is the primitive-level version of the e2e chaos runs.
+	c := NewChaos(99, 6)
+	testBarrierChaos := func(kind BarrierKind) {
+		team := NewTeam(6, kind)
+		slots := make([]paddedAtomic, 6)
+		if err := team.Run(func(w int) {
+			for r := int64(1); r <= 30; r++ {
+				c.PreSync(w)
+				slots[w].v.Store(r)
+				team.Barrier(w)
+				c.PostSync(w)
+				for i := range slots {
+					if slots[i].v.Load() < r {
+						t.Errorf("%v: worker %d saw stale slot %d at round %d", kind, w, i, r)
+					}
+				}
+				team.Barrier(w)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []BarrierKind{Central, Tree, Dissemination} {
+		testBarrierChaos(k)
+	}
+}

@@ -6,13 +6,21 @@
 // synchronization. All primitives record dynamic synchronization counts so
 // the benchmark harness can reproduce the paper's "barriers executed"
 // tables exactly.
+//
+// The runtime is hardened against the failure modes of an unsound
+// synchronization schedule: every blocking primitive escalates its wait
+// (spin → Gosched → short sleep) so stalls never livelock, registers its
+// wait site with the team Monitor, and — when a stall deadline is armed
+// via Team.SetWatchdog — aborts a stalled run with a structured
+// per-worker DeadlockError instead of hanging. Team.Run recovers worker
+// panics, cancels the remaining workers and returns the panic to the
+// caller as a PanicError.
 package spmdrt
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Stats counts dynamic synchronization events. A barrier crossed by all P
@@ -82,24 +90,12 @@ type Barrier interface {
 	Wait(w int)
 }
 
-// spinThenYield busy-waits briefly, then yields to the scheduler, so teams
-// larger than GOMAXPROCS cannot livelock.
-func spinThenYield(done func() bool) {
-	for i := 0; i < 64; i++ {
-		if done() {
-			return
-		}
-	}
-	for !done() {
-		runtime.Gosched()
-	}
-}
-
 type pad [120]byte
 
 // centralBarrier is the classic sense-reversing centralized barrier.
 type centralBarrier struct {
 	n     int
+	mon   *Monitor
 	count atomic.Int64
 	sense atomic.Int64
 	_     pad
@@ -107,40 +103,55 @@ type centralBarrier struct {
 }
 
 type paddedInt struct {
-	v int64
-	_ pad
+	v   int64
+	eps int64 // per-worker episode count, for watchdog reports
+	_   pad
 }
 
-// NewBarrier constructs a barrier of the given kind for n workers.
-func NewBarrier(kind BarrierKind, n int) Barrier {
+// NewBarrier constructs a barrier of the given kind for n workers. Teams
+// bind their barrier to the team Monitor; a barrier built directly here is
+// unmonitored (no watchdog, no abort) but still escalates its waits.
+func NewBarrier(kind BarrierKind, n int) Barrier { return newBarrier(kind, n, nil) }
+
+func newBarrier(kind BarrierKind, n int, m *Monitor) Barrier {
 	if n <= 0 {
 		panic("spmdrt: barrier needs at least one worker")
 	}
 	switch kind {
 	case Tree:
-		return newTreeBarrier(n)
+		return newTreeBarrier(n, m)
 	case Dissemination:
-		return newDisseminationBarrier(n)
+		return newDisseminationBarrier(n, m)
 	default:
-		return &centralBarrier{n: n, local: make([]paddedInt, n)}
+		return &centralBarrier{n: n, mon: m, local: make([]paddedInt, n)}
 	}
 }
 
 func (b *centralBarrier) Wait(w int) {
 	mySense := 1 - b.local[w].v
 	b.local[w].v = mySense
+	b.local[w].eps++
 	if b.count.Add(1) == int64(b.n) {
 		b.count.Store(0)
 		b.sense.Store(mySense)
 		return
 	}
-	spinThenYield(func() bool { return b.sense.Load() == mySense })
+	waitUntil(b.mon, func() *WaitSite {
+		return &WaitSite{
+			Worker:  w,
+			Prim:    "barrier(central)",
+			Detail:  fmt.Sprintf("episode=%d sense=%d", b.local[w].eps, mySense),
+			Target:  int64(b.n),
+			observe: b.count.Load,
+		}
+	}, func() bool { return b.sense.Load() == mySense })
 }
 
 // treeBarrier: workers combine arrivals up a static arity-4 tree; the root
 // flips a global release sense.
 type treeBarrier struct {
 	n       int
+	mon     *Monitor
 	nodes   []treeNode
 	release atomic.Int64
 	local   []paddedInt
@@ -155,10 +166,10 @@ type treeNode struct {
 
 const treeArity = 4
 
-func newTreeBarrier(n int) *treeBarrier {
+func newTreeBarrier(n int, m *Monitor) *treeBarrier {
 	// Leaf i = worker i; internal nodes above. Build an array-encoded
 	// arity-4 tree over n leaves.
-	b := &treeBarrier{n: n, local: make([]paddedInt, n)}
+	b := &treeBarrier{n: n, mon: m, local: make([]paddedInt, n)}
 	// Simple construction: nodes[0..n-1] are leaves; repeatedly group.
 	type level struct{ first, count int }
 	b.nodes = make([]treeNode, 0, 2*n)
@@ -187,6 +198,7 @@ func newTreeBarrier(n int) *treeBarrier {
 func (b *treeBarrier) Wait(w int) {
 	mySense := 1 - b.local[w].v
 	b.local[w].v = mySense
+	b.local[w].eps++
 	// Propagate arrival upward; the last arriver at each node continues.
 	node := b.nodes[w].parent
 	for node != -1 {
@@ -205,7 +217,15 @@ func (b *treeBarrier) Wait(w int) {
 		b.release.Store(mySense)
 		return
 	}
-	spinThenYield(func() bool { return b.release.Load() == mySense })
+	waitUntil(b.mon, func() *WaitSite {
+		return &WaitSite{
+			Worker:  w,
+			Prim:    "barrier(tree)",
+			Detail:  fmt.Sprintf("episode=%d sense=%d", b.local[w].eps, mySense),
+			Target:  mySense,
+			observe: b.release.Load,
+		}
+	}, func() bool { return b.release.Load() == mySense })
 }
 
 // disseminationBarrier: round r has worker w signal (w + 2^r) mod n and
@@ -213,6 +233,7 @@ func (b *treeBarrier) Wait(w int) {
 // workers have transitively heard from everyone.
 type disseminationBarrier struct {
 	n      int
+	mon    *Monitor
 	rounds int
 	// flags[r][w] counts signals received by worker w in round r.
 	flags [][]paddedAtomic
@@ -225,12 +246,12 @@ type paddedAtomic struct {
 	_ pad
 }
 
-func newDisseminationBarrier(n int) *disseminationBarrier {
+func newDisseminationBarrier(n int, m *Monitor) *disseminationBarrier {
 	rounds := 0
 	for 1<<rounds < n {
 		rounds++
 	}
-	b := &disseminationBarrier{n: n, rounds: rounds, epoch: make([]paddedInt, n)}
+	b := &disseminationBarrier{n: n, mon: m, rounds: rounds, epoch: make([]paddedInt, n)}
 	b.flags = make([][]paddedAtomic, rounds)
 	for r := range b.flags {
 		b.flags[r] = make([]paddedAtomic, n)
@@ -245,7 +266,17 @@ func (b *disseminationBarrier) Wait(w int) {
 		peer := (w + (1 << r)) % b.n
 		b.flags[r][peer].v.Add(1)
 		me := &b.flags[r][w].v
-		spinThenYield(func() bool { return me.Load() >= target })
+		round := r
+		waitUntil(b.mon, func() *WaitSite {
+			return &WaitSite{
+				Worker: w,
+				Prim:   "barrier(dissemination)",
+				Detail: fmt.Sprintf("episode=%d round=%d/%d awaiting signal from w%d",
+					target, round+1, b.rounds, (w-(1<<round)%b.n+b.n)%b.n),
+				Target:  target,
+				observe: me.Load,
+			}
+		}, func() bool { return me.Load() >= target })
 	}
 }
 
@@ -253,41 +284,47 @@ func (b *disseminationBarrier) Wait(w int) {
 // values can increment a counter, and processors accessing the values wait
 // until the counter is incremented to the proper value", §2.2).
 type Counter struct {
-	v  atomic.Int64
-	mu sync.Mutex
-	cv *sync.Cond
+	v   atomic.Int64
+	mon *Monitor
+	// Site, if set, labels the counter in watchdog deadlock reports (the
+	// executor tags each counter with its sync-site id).
+	Site string
 }
 
-// NewCounter returns a counter starting at zero.
-func NewCounter() *Counter {
-	c := &Counter{}
-	c.cv = sync.NewCond(&c.mu)
-	return c
-}
+// NewCounter returns an unmonitored counter starting at zero; use
+// Team.NewCounter to bind a counter to a team's watchdog.
+func NewCounter() *Counter { return &Counter{} }
 
-// Add increments the counter by d and wakes waiters.
-func (c *Counter) Add(d int64) {
-	c.mu.Lock()
-	c.v.Add(d)
-	c.cv.Broadcast()
-	c.mu.Unlock()
-}
+// Add increments the counter by d, releasing satisfied waiters.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
 
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
-// WaitGE blocks until the counter value is at least target.
-func (c *Counter) WaitGE(target int64) {
-	for i := 0; i < 64; i++ {
-		if c.v.Load() >= target {
-			return
+// WaitGE blocks until the counter value is at least target, without
+// registering a wait site (anonymous waiter).
+func (c *Counter) WaitGE(target int64) { c.WaitGEAs(-1, target) }
+
+// WaitGEAs is WaitGE on behalf of team worker w: if the counter is bound
+// to a team, the wait registers with the team Monitor so watchdog reports
+// name the blocked worker, its counter site and target-vs-observed values.
+func (c *Counter) WaitGEAs(w int, target int64) {
+	if c.v.Load() >= target {
+		return
+	}
+	m := c.mon
+	if w < 0 {
+		m = nil
+	}
+	waitUntil(m, func() *WaitSite {
+		return &WaitSite{
+			Worker:  w,
+			Prim:    "counter",
+			Detail:  c.Site,
+			Target:  target,
+			observe: c.v.Load,
 		}
-	}
-	c.mu.Lock()
-	for c.v.Load() < target {
-		c.cv.Wait()
-	}
-	c.mu.Unlock()
+	}, func() bool { return c.v.Load() >= target })
 }
 
 // P2P provides per-worker monotonic completion counters for neighbor and
@@ -295,13 +332,17 @@ func (c *Counter) WaitGE(target int64) {
 // may wait for another worker's progress to reach a value.
 type P2P struct {
 	slots []*Counter
+	mon   *Monitor
 }
 
-// NewP2P builds completion counters for n workers.
-func NewP2P(n int) *P2P {
-	p := &P2P{slots: make([]*Counter, n)}
+// NewP2P builds unmonitored completion counters for n workers; use
+// Team.NewP2P to bind them to a team's watchdog.
+func NewP2P(n int) *P2P { return newP2P(n, nil) }
+
+func newP2P(n int, m *Monitor) *P2P {
+	p := &P2P{slots: make([]*Counter, n), mon: m}
 	for i := range p.slots {
-		p.slots[i] = NewCounter()
+		p.slots[i] = &Counter{}
 	}
 	return p
 }
@@ -309,8 +350,31 @@ func NewP2P(n int) *P2P {
 // Post records that worker w completed one more step.
 func (p *P2P) Post(w int) { p.slots[w].Add(1) }
 
-// WaitFor blocks until worker w has posted at least value steps.
-func (p *P2P) WaitFor(w int, value int64) { p.slots[w].WaitGE(value) }
+// WaitFor blocks until worker w has posted at least value steps
+// (anonymous waiter).
+func (p *P2P) WaitFor(w int, value int64) { p.WaitForAs(-1, w, value) }
+
+// WaitForAs is WaitFor on behalf of team worker self, registered with the
+// team Monitor when the P2P set is team-bound.
+func (p *P2P) WaitForAs(self, w int, value int64) {
+	c := p.slots[w]
+	if c.v.Load() >= value {
+		return
+	}
+	m := p.mon
+	if self < 0 {
+		m = nil
+	}
+	waitUntil(m, func() *WaitSite {
+		return &WaitSite{
+			Worker:  self,
+			Prim:    "p2p",
+			Detail:  fmt.Sprintf("awaiting progress of w%d", w),
+			Target:  value,
+			observe: c.v.Load,
+		}
+	}, func() bool { return c.v.Load() >= value })
+}
 
 // Progress returns worker w's posted count.
 func (p *P2P) Progress(w int) int64 { return p.slots[w].Load() }
@@ -321,6 +385,7 @@ type Team struct {
 	Stats   *Stats
 	barrier Barrier
 	kind    BarrierKind
+	mon     *Monitor
 }
 
 // NewTeam creates a team of n workers using the given barrier kind.
@@ -328,23 +393,32 @@ func NewTeam(n int, kind BarrierKind) *Team {
 	if n <= 0 {
 		panic("spmdrt: team needs at least one worker")
 	}
-	return &Team{N: n, Stats: &Stats{}, barrier: NewBarrier(kind, n), kind: kind}
+	mon := newMonitor(n)
+	return &Team{N: n, Stats: &Stats{}, barrier: newBarrier(kind, n, mon), kind: kind, mon: mon}
 }
 
 // BarrierKind returns the team's barrier implementation kind.
 func (t *Team) BarrierKind() BarrierKind { return t.kind }
 
+// SetWatchdog arms the stall watchdog: any team-bound blocking wait that
+// makes no progress for d aborts the run with a structured DeadlockError.
+// d <= 0 disarms it.
+func (t *Team) SetWatchdog(d time.Duration) { t.mon.setDeadline(d) }
+
+// NewCounter returns a counter bound to this team's watchdog.
+func (t *Team) NewCounter() *Counter { return &Counter{mon: t.mon} }
+
+// NewP2P returns per-worker completion counters bound to this team's
+// watchdog.
+func (t *Team) NewP2P() *P2P { return newP2P(t.N, t.mon) }
+
 // Run executes fn(w) on n concurrent workers and returns when all finish.
-func (t *Team) Run(fn func(w int)) {
-	var wg sync.WaitGroup
-	wg.Add(t.N)
-	for w := 0; w < t.N; w++ {
-		go func(w int) {
-			defer wg.Done()
-			fn(w)
-		}(w)
-	}
-	wg.Wait()
+// A worker panic cancels the rest of the team (workers blocked in
+// team-bound primitives unwind) and is returned as a *PanicError; a stall
+// beyond the SetWatchdog deadline returns a *DeadlockError. A team that
+// has failed must not be reused.
+func (t *Team) Run(fn func(w int)) error {
+	return runWorkers(t.N, t.mon, fn)
 }
 
 // Barrier synchronizes all team workers and counts one barrier episode.

@@ -13,7 +13,7 @@ func testBarrierOrdering(t *testing.T, kind BarrierKind, n, rounds int) {
 	// that lets anyone through early fails immediately.
 	slots := make([]atomic.Int64, n)
 	fail := atomic.Int64{}
-	team.Run(func(w int) {
+	err := team.Run(func(w int) {
 		for r := 1; r <= rounds; r++ {
 			slots[w].Store(int64(r))
 			team.Barrier(w)
@@ -25,6 +25,9 @@ func testBarrierOrdering(t *testing.T, kind BarrierKind, n, rounds int) {
 			team.Barrier(w)
 		}
 	})
+	if err != nil {
+		t.Fatalf("%v barrier with %d workers: Run: %v", kind, n, err)
+	}
 	if f := fail.Load(); f != 0 {
 		t.Fatalf("%v barrier with %d workers leaked: code %d", kind, n, f)
 	}
@@ -65,7 +68,7 @@ func TestCounterProducerConsumer(t *testing.T) {
 	c := NewCounter()
 	team := NewTeam(8, Central)
 	data := make([]int64, 8)
-	team.Run(func(w int) {
+	err := team.Run(func(w int) {
 		if w < 4 {
 			data[w] = int64(w) + 100
 			c.Add(1)
@@ -78,6 +81,9 @@ func TestCounterProducerConsumer(t *testing.T) {
 			}
 		}
 	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if c.Load() != 4 {
 		t.Errorf("counter = %d, want 4", c.Load())
 	}
@@ -105,7 +111,7 @@ func TestP2PPipeline(t *testing.T) {
 	// step s. progress[w] must therefore never exceed progress[w-1].
 	progress := make([]atomic.Int64, n)
 	bad := atomic.Bool{}
-	team.Run(func(w int) {
+	err := team.Run(func(w int) {
 		for s := int64(1); s <= steps; s++ {
 			if w > 0 {
 				p.WaitFor(w-1, s)
@@ -117,6 +123,9 @@ func TestP2PPipeline(t *testing.T) {
 			p.Post(w)
 		}
 	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if bad.Load() {
 		t.Fatal("pipeline order violated")
 	}
@@ -171,11 +180,13 @@ func TestNewBarrierPanics(t *testing.T) {
 func TestSingleWorkerBarrierIsNoop(t *testing.T) {
 	for _, k := range []BarrierKind{Central, Tree, Dissemination} {
 		team := NewTeam(1, k)
-		team.Run(func(w int) {
+		if err := team.Run(func(w int) {
 			for i := 0; i < 10; i++ {
 				team.Barrier(w)
 			}
-		})
+		}); err != nil {
+			t.Fatalf("%v: Run: %v", k, err)
+		}
 		if team.Stats.Barriers.Load() != 10 {
 			t.Errorf("%v: episodes = %d", k, team.Stats.Barriers.Load())
 		}

@@ -1,0 +1,271 @@
+package spmdrt
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Monitor is the team's stall watchdog and failure latch. Every blocking
+// primitive registers its wait site (which worker is blocked in which
+// barrier/counter/point-to-point wait, and on what value) while it spins;
+// when a wait exceeds the team's stall deadline the monitor snapshots all
+// registered sites into a structured DeadlockError and aborts the run, so
+// an unsound synchronization schedule surfaces as a per-worker deadlock
+// report instead of a hang. The monitor is also how worker panics release
+// the rest of the team: the first failure latches, and every monitored
+// wait polls the latch and unwinds.
+type Monitor struct {
+	n          int
+	deadlineNS atomic.Int64
+	sites      []siteSlot
+
+	mu       sync.Mutex
+	failErr  error
+	failedCh chan struct{}
+	failed   atomic.Bool
+}
+
+type siteSlot struct {
+	p atomic.Pointer[WaitSite]
+	_ pad
+}
+
+func newMonitor(n int) *Monitor {
+	return &Monitor{n: n, sites: make([]siteSlot, n), failedCh: make(chan struct{})}
+}
+
+// setDeadline arms (or, with d <= 0, disarms) the stall watchdog.
+func (m *Monitor) setDeadline(d time.Duration) { m.deadlineNS.Store(int64(d)) }
+
+// fail latches the first failure and releases every monitored wait.
+func (m *Monitor) fail(err error) {
+	m.mu.Lock()
+	if m.failErr == nil {
+		m.failErr = err
+		close(m.failedCh)
+	}
+	m.mu.Unlock()
+	m.failed.Store(true)
+}
+
+// Err returns the latched failure, if any.
+func (m *Monitor) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failErr
+}
+
+// WaitSite describes one worker's current blocking wait.
+type WaitSite struct {
+	// Worker is the blocked worker's rank.
+	Worker int
+	// Prim names the primitive: "barrier(central)", "counter", "p2p".
+	Prim string
+	// Detail is primitive-specific: barrier episode/sense/round, the peer
+	// a point-to-point wait is watching, the counter's sync site.
+	Detail string
+	// Target is the value the wait needs to observe (the barrier arrival
+	// count, the counter target, the peer progress value).
+	Target int64
+	// observe samples the currently observed value when a deadlock report
+	// is assembled.
+	observe func() int64
+	// Since is when the wait left its initial spin phase.
+	Since time.Time
+}
+
+// WaitStatus is one worker's entry in a deadlock report.
+type WaitStatus struct {
+	Worker   int
+	Blocked  bool
+	Prim     string
+	Detail   string
+	Target   int64
+	Observed int64
+	For      time.Duration
+}
+
+func (s WaitStatus) String() string {
+	if !s.Blocked {
+		return fmt.Sprintf("w%d: running (not blocked in a runtime sync primitive)", s.Worker)
+	}
+	out := fmt.Sprintf("w%d: blocked in %s", s.Worker, s.Prim)
+	if s.Detail != "" {
+		out += " [" + s.Detail + "]"
+	}
+	out += fmt.Sprintf(" target=%d observed=%d for %s", s.Target, s.Observed, s.For.Round(time.Millisecond))
+	return out
+}
+
+// DeadlockError is the structured report the watchdog produces when a
+// blocking wait exceeds the team's stall deadline: one entry per worker
+// with the sync site it is blocked at (or "running" for workers stuck
+// outside runtime primitives).
+type DeadlockError struct {
+	// Deadline is the stall deadline that was exceeded.
+	Deadline time.Duration
+	// Trigger is the worker whose wait tripped the watchdog.
+	Trigger int
+	// Workers holds one status per team worker.
+	Workers []WaitStatus
+}
+
+func (e *DeadlockError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "spmdrt: watchdog: worker %d made no progress for %s; per-worker wait sites:",
+		e.Trigger, e.Deadline)
+	for _, w := range e.Workers {
+		sb.WriteString("\n  " + w.String())
+	}
+	return sb.String()
+}
+
+// PanicError wraps a panic raised by one team worker so Team.Run can cancel
+// the remaining workers and surface the panic value to the caller.
+type PanicError struct {
+	Worker int
+	Value  any
+	Stack  string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("spmdrt: worker %d panicked: %v\n%s", e.Worker, e.Value, e.Stack)
+}
+
+// teamAbort is the sentinel panic used to unwind workers out of monitored
+// waits after the team has failed; Team.Run swallows it.
+type teamAbort struct{}
+
+// deadlockReport snapshots every worker's registered wait site.
+func (m *Monitor) deadlockReport(trigger *WaitSite) *DeadlockError {
+	e := &DeadlockError{
+		Deadline: time.Duration(m.deadlineNS.Load()),
+		Trigger:  trigger.Worker,
+	}
+	now := time.Now()
+	for w := 0; w < m.n; w++ {
+		site := m.sites[w].p.Load()
+		if site == nil {
+			e.Workers = append(e.Workers, WaitStatus{Worker: w})
+			continue
+		}
+		st := WaitStatus{
+			Worker:  w,
+			Blocked: true,
+			Prim:    site.Prim,
+			Detail:  site.Detail,
+			Target:  site.Target,
+			For:     now.Sub(site.Since),
+		}
+		if site.observe != nil {
+			st.Observed = site.observe()
+		}
+		e.Workers = append(e.Workers, st)
+	}
+	return e
+}
+
+// waitUntil blocks until done() reports true, escalating from a bounded
+// busy-spin through runtime.Gosched to short sleeps so oversubscribed
+// teams (workers > GOMAXPROCS, including the single-CPU case) cannot
+// livelock a stalled wait. With a non-nil monitor the wait registers its
+// site (built lazily by mk, only once the fast path fails), polls the
+// team failure latch, and enforces the stall deadline.
+func waitUntil(m *Monitor, mk func() *WaitSite, done func() bool) {
+	for i := 0; i < 64; i++ {
+		if done() {
+			return
+		}
+	}
+	if m == nil {
+		for i := 0; ; i++ {
+			if done() {
+				return
+			}
+			if i < 256 {
+				runtime.Gosched()
+				continue
+			}
+			time.Sleep(backoff(i - 256))
+		}
+	}
+	site := mk()
+	site.Since = time.Now()
+	m.sites[site.Worker].p.Store(site)
+	defer m.sites[site.Worker].p.Store(nil)
+	deadline := time.Duration(m.deadlineNS.Load())
+	for i := 0; ; i++ {
+		if done() {
+			return
+		}
+		if m.failed.Load() {
+			panic(teamAbort{})
+		}
+		if i < 256 {
+			runtime.Gosched()
+			continue
+		}
+		if deadline > 0 && time.Since(site.Since) > deadline {
+			m.fail(m.deadlockReport(site))
+			panic(teamAbort{})
+		}
+		time.Sleep(backoff(i - 256))
+	}
+}
+
+// backoff escalates 1µs → 128µs over successive sleep rounds: short enough
+// that abort/deadline checks stay responsive, long enough that a stalled
+// wait costs no meaningful CPU.
+func backoff(i int) time.Duration {
+	shift := i / 8
+	if shift > 7 {
+		shift = 7
+	}
+	return time.Microsecond << shift
+}
+
+// runWorkers executes fn on n goroutines, recovering panics into the
+// monitor and waiting for completion. After a failure, workers blocked in
+// monitored primitives unwind promptly; a worker stuck outside any
+// runtime primitive cannot be preempted and is abandoned (leaked) after a
+// grace period so the caller still receives the failure report.
+func runWorkers(n int, m *Monitor, fn func(w int)) error {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				if _, ok := r.(teamAbort); ok {
+					return
+				}
+				m.fail(&PanicError{Worker: w, Value: r, Stack: string(debug.Stack())})
+			}()
+			fn(w)
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-m.failedCh:
+		select {
+		case <-done:
+		case <-time.After(unwindGrace):
+		}
+	}
+	return m.Err()
+}
+
+// unwindGrace bounds how long Team.Run waits for workers to unwind after
+// the team has failed.
+const unwindGrace = 2 * time.Second

@@ -1,0 +1,201 @@
+package spmdrt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// deadlockTeam runs fn on a watchdog-armed team and requires a
+// DeadlockError naming the given primitive in at least one wait status.
+func deadlockTeam(t *testing.T, n int, fn func(team *Team, w int), wantPrim string) *DeadlockError {
+	t.Helper()
+	team := NewTeam(n, Central)
+	team.SetWatchdog(100 * time.Millisecond)
+	err := team.Run(func(w int) { fn(team, w) })
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("Run returned %v, want *DeadlockError", err)
+	}
+	if len(de.Workers) != n {
+		t.Fatalf("report has %d worker entries, want %d", len(de.Workers), n)
+	}
+	found := false
+	for _, ws := range de.Workers {
+		if ws.Blocked && strings.Contains(ws.Prim, wantPrim) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no worker blocked in %q; report:\n%v", wantPrim, de)
+	}
+	if !strings.Contains(de.Error(), "watchdog") {
+		t.Errorf("report text %q does not mention the watchdog", de.Error())
+	}
+	return de
+}
+
+func TestWatchdogBarrierDeadlock(t *testing.T) {
+	for _, k := range []BarrierKind{Central, Tree, Dissemination} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			team := NewTeam(4, k)
+			team.SetWatchdog(100 * time.Millisecond)
+			err := team.Run(func(w int) {
+				if w == 2 {
+					return // desert the team: the barrier can never fill
+				}
+				team.Barrier(w)
+			})
+			var de *DeadlockError
+			if !errors.As(err, &de) {
+				t.Fatalf("Run returned %v, want *DeadlockError", err)
+			}
+			blocked := 0
+			for _, ws := range de.Workers {
+				if ws.Blocked {
+					blocked++
+					if !strings.Contains(ws.Prim, "barrier") {
+						t.Errorf("worker %d blocked in %q, want a barrier", ws.Worker, ws.Prim)
+					}
+					if ws.Detail == "" {
+						t.Errorf("worker %d report has no barrier detail", ws.Worker)
+					}
+				}
+			}
+			if blocked == 0 {
+				t.Fatalf("no blocked workers in report:\n%v", de)
+			}
+			if de.Workers[2].Blocked {
+				t.Errorf("deserter reported as blocked:\n%v", de)
+			}
+		})
+	}
+}
+
+func TestWatchdogCounterDeadlock(t *testing.T) {
+	de := deadlockTeam(t, 3, func(team *Team, w int) {
+		c := team.NewCounter() // never incremented
+		c.Site = "test site 7"
+		c.WaitGEAs(w, 5)
+	}, "counter")
+	for _, ws := range de.Workers {
+		if !ws.Blocked {
+			continue
+		}
+		if ws.Target != 5 || ws.Observed != 0 {
+			t.Errorf("worker %d target/observed = %d/%d, want 5/0", ws.Worker, ws.Target, ws.Observed)
+		}
+		if ws.Detail != "test site 7" {
+			t.Errorf("worker %d detail = %q, want the counter site label", ws.Worker, ws.Detail)
+		}
+	}
+}
+
+func TestWatchdogP2PDeadlock(t *testing.T) {
+	de := deadlockTeam(t, 2, func(team *Team, w int) {
+		p := team.NewP2P()
+		if w == 0 {
+			p.WaitForAs(0, 1, 1) // worker 1 never posts to ITS OWN p2p set
+		}
+	}, "p2p")
+	st := de.Workers[0]
+	if !st.Blocked || !strings.Contains(st.Detail, "w1") {
+		t.Errorf("worker 0 status %+v does not name the awaited peer", st)
+	}
+}
+
+// TestWorkerPanicPropagates is the regression test for the pre-hardening
+// behavior where a worker panic left the rest of the team spinning forever
+// in the join barrier: the panic must cancel the team and reach the caller.
+func TestWorkerPanicPropagates(t *testing.T) {
+	team := NewTeam(4, Central)
+	start := time.Now()
+	err := team.Run(func(w int) {
+		if w == 3 {
+			panic("kernel exploded")
+		}
+		// Everyone else heads into a barrier that can now never fill.
+		team.Barrier(w)
+	})
+	if took := time.Since(start); took > 30*time.Second {
+		t.Fatalf("Run took %v; panic did not cancel the team", took)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run returned %v, want *PanicError", err)
+	}
+	if pe.Worker != 3 {
+		t.Errorf("PanicError.Worker = %d, want 3", pe.Worker)
+	}
+	if pe.Value != "kernel exploded" {
+		t.Errorf("PanicError.Value = %v, want the panic value", pe.Value)
+	}
+	if pe.Stack == "" {
+		t.Error("PanicError carries no stack trace")
+	}
+	if !strings.Contains(pe.Error(), "kernel exploded") {
+		t.Errorf("error text %q omits the panic value", pe.Error())
+	}
+}
+
+func TestWorkerPanicCancelsCounterWaiters(t *testing.T) {
+	team := NewTeam(3, Central)
+	c := team.NewCounter()
+	err := team.Run(func(w int) {
+		if w == 0 {
+			panic("producer died")
+		}
+		c.WaitGEAs(w, 100) // would block forever without cancellation
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run returned %v, want *PanicError", err)
+	}
+}
+
+func TestWatchdogDisarmed(t *testing.T) {
+	// Without a deadline the team must complete normally and return nil.
+	team := NewTeam(4, Central)
+	if err := team.Run(func(w int) {
+		for i := 0; i < 20; i++ {
+			team.Barrier(w)
+		}
+	}); err != nil {
+		t.Fatalf("healthy run returned %v", err)
+	}
+}
+
+func TestWatchdogNotTrippedByHealthyRun(t *testing.T) {
+	team := NewTeam(4, Dissemination)
+	team.SetWatchdog(5 * time.Second)
+	c := team.NewCounter()
+	if err := team.Run(func(w int) {
+		for i := 1; i <= 50; i++ {
+			team.Barrier(w)
+			if w == 0 {
+				c.Add(1)
+			}
+			c.WaitGEAs(w, int64(i))
+		}
+	}); err != nil {
+		t.Fatalf("healthy run returned %v", err)
+	}
+}
+
+func TestWaitStatusString(t *testing.T) {
+	s := WaitStatus{Worker: 2, Blocked: true, Prim: "counter", Detail: "site 3",
+		Target: 8, Observed: 5, For: 250 * time.Millisecond}
+	out := s.String()
+	for _, want := range []string{"w2", "counter", "site 3", "target=8", "observed=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status %q missing %q", out, want)
+		}
+	}
+	idle := WaitStatus{Worker: 1}
+	if !strings.Contains(idle.String(), "running") {
+		t.Errorf("idle status %q should say running", idle.String())
+	}
+}
