@@ -3,6 +3,7 @@
 //
 //	benchtab                  # everything at the standard input, P=8
 //	benchtab -table 3 -p 16   # one table at another worker count
+//	benchtab -table W         # per-site sync wait, base vs optimized
 //	benchtab -fig 1           # barrier latency vs processors
 //	benchtab -ablate repl     # Table 3 with replacement disabled (A2)
 //	benchtab -ablate merge    # Table 3 with merging disabled (A3)
@@ -12,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/costsim"
@@ -21,7 +23,7 @@ import (
 
 func main() {
 	var (
-		table   = flag.Int("table", 0, "print only table N (1..4)")
+		table   = flag.String("table", "", "print only table N (1..4 or W)")
 		fig     = flag.Int("fig", 0, "print only figure N (1, 3 or 4)")
 		workers = flag.Int("p", 8, "worker count for dynamic measurements")
 		ablate  = flag.String("ablate", "", "ablation for table 3: repl or merge")
@@ -36,6 +38,13 @@ func main() {
 		return
 	}
 
+	tbl := strings.ToUpper(*table)
+	switch tbl {
+	case "", "1", "2", "3", "4", "W":
+	default:
+		fail(fmt.Errorf("unknown -table %q (want 1..4 or W)", *table))
+	}
+
 	opt := suite.MeasureOptions{Workers: *workers}
 	switch *ablate {
 	case "":
@@ -47,11 +56,15 @@ func main() {
 		fail(fmt.Errorf("unknown -ablate %q", *ablate))
 	}
 
-	wantTables := func(n int) bool { return *table == 0 && *fig == 0 || *table == n }
-	wantFig := func(n int) bool { return *table == 0 && *fig == 0 || *fig == n }
+	wantTables := func(n string) bool { return tbl == "" && *fig == 0 || tbl == n }
+	wantFig := func(n int) bool { return tbl == "" && *fig == 0 || *fig == n }
+
+	// Table W needs the sync-event trace of each measured run.
+	opt.Trace = wantTables("W")
 
 	var ms []suite.Metrics
-	needMeasure := wantTables(1) || wantTables(2) || wantTables(3) || wantFig(3)
+	needMeasure := wantTables("1") || wantTables("2") || wantTables("3") ||
+		wantTables("W") || wantFig(3)
 	if needMeasure {
 		var err error
 		ms, err = suite.MeasureAll(opt)
@@ -62,19 +75,23 @@ func main() {
 	if *ablate != "" {
 		fmt.Printf("(ablation: %s disabled)\n", *ablate)
 	}
-	if wantTables(1) {
+	if wantTables("1") {
 		suite.Table1(os.Stdout, ms)
 		fmt.Println()
 	}
-	if wantTables(2) {
+	if wantTables("2") {
 		suite.Table2(os.Stdout, ms)
 		fmt.Println()
 	}
-	if wantTables(3) {
+	if wantTables("3") {
 		suite.Table3(os.Stdout, ms)
 		fmt.Println()
 	}
-	if wantTables(4) {
+	if wantTables("W") {
+		suite.TableW(os.Stdout, ms)
+		fmt.Println()
+	}
+	if wantTables("4") {
 		err := suite.Table4(os.Stdout,
 			[]string{"jacobi2d", "shallow", "pipeline", "dotchain"},
 			[]int{1, 2, 4, 8})

@@ -3,9 +3,14 @@
 // dynamic synchronization counts the paper's tables are built from and
 // verifying the parallel result against the sequential interpreter.
 //
+// stdout carries only the machine-parseable `key: value` result lines;
+// diagnostics (per-site stats, sanitizer report, trace summary) go to
+// stderr. docs/INTERNALS.md §9 documents every flag.
+//
 // Usage:
 //
 //	spmdrun -kernel jacobi2d -p 8
+//	spmdrun -kernel jacobi2d -p 8 -trace out.json -trace-summary
 //	spmdrun -p 4 -mode base -param N=256 -param T=10 prog.dsl
 package main
 
@@ -20,6 +25,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/spmdrt"
 	"repro/internal/suite"
+	"repro/internal/synctrace"
 )
 
 type paramList map[string]int64
@@ -53,6 +59,10 @@ func main() {
 		chaos    = flag.Int64("chaos-seed", 0, "enable deterministic chaos injection with this seed (0 disables)")
 		sanitize = flag.Bool("sanitize", false, "run the schedule-soundness sanitizer and report unordered cross-worker flows")
 		sabotage = flag.Int("sabotage", 0, "drop the sync edge with this 1-based site number (testing aid; makes the schedule unsound)")
+
+		traceOut = flag.String("trace", "", "record sync events and write a Chrome trace-event JSON file (view in ui.perfetto.dev)")
+		traceSum = flag.Bool("trace-summary", false, "record sync events and print per-site wait/imbalance summary to stderr")
+		traceCap = flag.Int("trace-buf", 0, "per-worker trace ring capacity in events (0 = default 65536; oldest events drop when full)")
 	)
 	flag.Var(params, "param", "program parameter NAME=VALUE (repeatable)")
 	flag.Parse()
@@ -101,7 +111,9 @@ func main() {
 		WatchdogTimeout:         *watchdog,
 		ChaosSeed:               *chaos,
 		SabotageEdge:            *sabotage,
-		Sanitize:                *sanitize}
+		Sanitize:                *sanitize,
+		Trace:                   *traceOut != "" || *traceSum,
+		TraceBufCap:             *traceCap}
 	var runner *exec.Runner
 	switch *mode {
 	case "base":
@@ -123,8 +135,31 @@ func main() {
 	fmt.Printf("elapsed:  %s\n", res.Elapsed)
 	fmt.Printf("sync:     %s\n", res.Stats)
 	fmt.Printf("checksum: %.10g\n", res.State.Checksum())
+
+	// Diagnostics go to stderr so stdout stays machine-parseable.
+	if ps := res.Stats.PerSiteString(); ps != "" {
+		fmt.Fprintln(os.Stderr, "per-site dynamic sync counts:")
+		fmt.Fprintln(os.Stderr, indent(ps))
+	}
 	if res.Sanitizer != nil {
-		fmt.Println(res.Sanitizer)
+		fmt.Fprintln(os.Stderr, res.Sanitizer)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := res.Trace.WriteChromeTrace(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace:    %d events -> %s (load in ui.perfetto.dev)\n",
+			res.Trace.Recorded(), *traceOut)
+	}
+	if *traceSum {
+		fmt.Fprintln(os.Stderr, synctrace.Summarize(res.Trace))
 	}
 
 	if *verify {
@@ -141,6 +176,10 @@ func main() {
 	if res.Sanitizer != nil && !res.Sanitizer.Clean() {
 		fail(fmt.Errorf("sanitizer found unordered cross-worker flows"))
 	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
 }
 
 func fail(err error) {

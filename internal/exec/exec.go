@@ -12,6 +12,7 @@ import (
 	"repro/internal/region"
 	"repro/internal/sanitize"
 	"repro/internal/spmdrt"
+	"repro/internal/synctrace"
 	"repro/internal/syncopt"
 )
 
@@ -71,6 +72,16 @@ type Config struct {
 	// tracker that flags cross-worker flows the schedule left unordered
 	// (Result.Sanitizer carries the report).
 	Sanitize bool
+	// Trace enables the sync-event tracing layer: every barrier episode,
+	// counter increment/wait, neighbor wait and fork-join dispatch is
+	// recorded with per-worker timestamps and its sync-site id
+	// (Result.Trace carries the recorder; export with WriteChromeTrace
+	// or synctrace.Summarize).
+	Trace bool
+	// TraceBufCap overrides the per-worker trace ring capacity in events
+	// (<= 0 selects synctrace.DefaultCap). When a ring fills, the oldest
+	// events are overwritten and reported as dropped.
+	TraceBufCap int
 }
 
 // Result carries the final state and the dynamic synchronization counts.
@@ -80,6 +91,12 @@ type Result struct {
 	Elapsed time.Duration
 	// Sanitizer is the soundness audit (nil unless Config.Sanitize).
 	Sanitizer *sanitize.Report
+	// Trace is the sync-event recorder (nil unless Config.Trace). Sites
+	// 0..NumSyncSites-1 are the scheduled boundaries (same numbering as
+	// StatsSnapshot.PerSite minus one and SabotageEdge minus one);
+	// higher ids are pseudo-sites for the fork-join dispatch and the
+	// wavefront/reduction relay chains.
+	Trace *synctrace.Recorder
 }
 
 // Runner executes one (program, schedule, plan) combination repeatedly.
@@ -169,6 +186,7 @@ func (r *Runner) RunOn(st *interp.State) (*Result, error) {
 		sabotage:  r.cfg.SabotageEdge - 1,
 	}
 	run.dispatch.Site = "fork-join dispatch"
+	team.Stats.InitSites(r.nSites)
 	if r.cfg.ChaosSeed != 0 {
 		run.chaos = spmdrt.NewChaos(r.cfg.ChaosSeed, r.cfg.Workers)
 	}
@@ -190,6 +208,37 @@ func (r *Runner) RunOn(st *interp.State) (*Result, error) {
 		run.counters[i] = team.NewCounter()
 		run.counters[i].Site = fmt.Sprintf("sync site %d", i+1)
 		run.p2ps[i] = team.NewP2P()
+	}
+	if r.cfg.Trace {
+		rec := synctrace.New(r.cfg.Workers, r.cfg.TraceBufCap)
+		// Scheduled sites register first so trace ids 0..nSites-1 match
+		// the stats/watchdog/sabotage numbering (1-based there).
+		for i := 0; i < r.nSites; i++ {
+			rec.AddSite(fmt.Sprintf("site %d [%s]", i+1, r.siteClass[i]))
+			run.counters[i].BindTrace(rec, int32(i), synctrace.EvCounterIncr, synctrace.EvCounterWait)
+			run.p2ps[i].BindTrace(rec, int32(i))
+		}
+		team.SetTrace(rec)
+		run.dispatch.BindTrace(rec, rec.AddSite("fork-join dispatch"),
+			synctrace.EvDispatch, synctrace.EvDispatchWait)
+		// Relay chains are synchronization without a scheduled boundary
+		// site; give each its own pseudo-site so waits still attribute.
+		// Walk in program order: map iteration would assign ids
+		// nondeterministically and break run-to-run trace comparison.
+		ir.WalkStmts(r.prog.Body, func(s ir.Stmt) bool {
+			l, ok := s.(*ir.Loop)
+			if !ok {
+				return true
+			}
+			if chain := run.waveChain[l]; chain != nil {
+				chain.BindTrace(rec, rec.AddSite("wavefront relay "+l.Index))
+			}
+			if chain := run.redChain[l]; chain != nil {
+				chain.BindTrace(rec, rec.AddSite("reduction chain "+l.Index))
+			}
+			return true
+		})
+		run.rec = rec
 	}
 	// In SPMD mode, scalars written only by replicated statements live in
 	// per-worker storage (the paper's replicated computation model);
@@ -246,7 +295,8 @@ func (r *Runner) RunOn(st *interp.State) (*Result, error) {
 		}
 	}
 	ps.flushTo(st)
-	res := &Result{State: st, Stats: team.Stats.Snapshot(), Elapsed: elapsed}
+	res := &Result{State: st, Stats: team.Stats.Snapshot(), Elapsed: elapsed,
+		Trace: run.rec}
 	if run.san != nil {
 		res.Sanitizer = run.san.tr.Report()
 	}
@@ -271,6 +321,8 @@ type teamRun struct {
 	chaos *spmdrt.Chaos
 	// san is the optional schedule-soundness sanitizer wiring.
 	san *sanRun
+	// rec is the optional sync-event recorder (nil when tracing is off).
+	rec *synctrace.Recorder
 	// sabotage is the sync-site id to silently drop (-1 for none).
 	sabotage int
 }
@@ -331,7 +383,7 @@ func (ws *workerState) execTop(s ir.Stmt) {
 				if run.san != nil {
 					run.san.tr.CounterPost(run.dispatch, ws.w)
 				}
-				run.dispatch.Add(1)
+				run.dispatch.PostAs(ws.w, 1, ws.dispatchSeq)
 			} else {
 				run.dispatch.WaitGEAs(ws.w, ws.dispatchSeq)
 				if run.san != nil {
@@ -648,21 +700,23 @@ func (ws *workerState) applySync(rs *syncopt.RegionSched, gi, site int) {
 	switch sync.Class {
 	case comm.ClassBarrier:
 		if run.san != nil {
-			run.san.tr.Barrier(ws.w, func() { run.team.Barrier(ws.w) })
+			run.san.tr.Barrier(ws.w, func() { run.team.BarrierAt(ws.w, site) })
 		} else {
-			run.team.Barrier(ws.w)
+			run.team.BarrierAt(ws.w, site)
 		}
 	case comm.ClassCounter:
 		self, total := ws.groupActivity(rs.Groups[gi])
 		ws.cum[site] += int64(total)
 		if self {
 			run.team.Stats.CounterIncrs.Add(1)
+			run.team.Stats.SiteCounterIncr(site)
 			if run.san != nil {
 				run.san.tr.CounterPost(run.counters[site], ws.w)
 			}
-			run.counters[site].Add(1)
+			run.counters[site].PostAs(ws.w, 1, ws.cum[site])
 		}
 		run.team.Stats.CounterWaits.Add(1)
+		run.team.Stats.SiteCounterWait(site)
 		run.counters[site].WaitGEAs(ws.w, ws.cum[site])
 		if run.san != nil {
 			run.san.tr.CounterJoin(run.counters[site], ws.w)
@@ -676,6 +730,7 @@ func (ws *workerState) applySync(rs *syncopt.RegionSched, gi, site int) {
 		run.p2ps[site].Post(ws.w)
 		if sync.WaitLower && ws.w > 0 {
 			run.team.Stats.NeighborWaits.Add(1)
+			run.team.Stats.SiteNeighborWait(site)
 			run.p2ps[site].WaitForAs(ws.w, ws.w-1, c)
 			if run.san != nil {
 				run.san.tr.P2PJoin(run.p2ps[site], ws.w, ws.w-1)
@@ -683,6 +738,7 @@ func (ws *workerState) applySync(rs *syncopt.RegionSched, gi, site int) {
 		}
 		if sync.WaitUpper && ws.w < run.cfg.Workers-1 {
 			run.team.Stats.NeighborWaits.Add(1)
+			run.team.Stats.SiteNeighborWait(site)
 			run.p2ps[site].WaitForAs(ws.w, ws.w+1, c)
 			if run.san != nil {
 				run.san.tr.P2PJoin(run.p2ps[site], ws.w, ws.w+1)

@@ -1,0 +1,349 @@
+package exec_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/suite"
+	"repro/internal/synctrace"
+)
+
+// traceRun compiles a suite kernel and runs it with tracing enabled.
+func traceRun(t *testing.T, kernel string, workers int, mode exec.Mode, cfg exec.Config) *exec.Result {
+	t.Helper()
+	k, err := suite.Get(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = workers
+	cfg.Params = k.Params
+	cfg.Mode = mode
+	cfg.Trace = true
+	var r *exec.Runner
+	if mode == exec.ForkJoin {
+		r, err = c.NewBaselineRunner(cfg)
+	} else {
+		r, err = c.NewRunner(cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", kernel, err)
+	}
+	return res
+}
+
+// TestTraceChromeSchema is the acceptance check behind
+// `spmdrun -kernel jacobi2d -p 8 -trace out.json`: both execution modes
+// must export trace-event JSON that parses and satisfies the format's
+// schema (one track per worker, legal phases, µs timestamps).
+func TestTraceChromeSchema(t *testing.T) {
+	for _, mode := range []exec.Mode{exec.ForkJoin, exec.SPMD} {
+		t.Run(mode.String(), func(t *testing.T) {
+			res := traceRun(t, "jacobi2d", 8, mode, exec.Config{})
+			if res.Trace == nil {
+				t.Fatal("Result.Trace nil with Config.Trace set")
+			}
+			var buf bytes.Buffer
+			if err := res.Trace.WriteChromeTrace(&buf); err != nil {
+				t.Fatal(err)
+			}
+			var doc struct {
+				TraceEvents []map[string]any `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+				t.Fatalf("trace is not valid JSON: %v", err)
+			}
+			threads := map[float64]bool{}
+			var spans int
+			for _, e := range doc.TraceEvents {
+				name, _ := e["name"].(string)
+				ph, _ := e["ph"].(string)
+				tid, tidOK := e["tid"].(float64)
+				ts, tsOK := e["ts"].(float64)
+				if name == "" || !tidOK || !tsOK || ts < 0 || tid < 0 || tid >= 8 {
+					t.Fatalf("malformed event: %v", e)
+				}
+				switch ph {
+				case "M":
+				case "X":
+					spans++
+					threads[tid] = true
+					if dur, ok := e["dur"].(float64); !ok || dur < 0 {
+						t.Fatalf("X event without dur: %v", e)
+					}
+				case "i":
+					threads[tid] = true
+				default:
+					t.Fatalf("illegal phase %q in %v", ph, e)
+				}
+			}
+			if spans == 0 {
+				t.Error("trace has no wait spans")
+			}
+			// jacobi2d synchronizes on every worker in both modes.
+			if len(threads) != 8 {
+				t.Errorf("events on %d worker tracks, want 8", len(threads))
+			}
+		})
+	}
+}
+
+// key is the timing-free signature of one event.
+type key struct {
+	kind synctrace.Kind
+	site int32
+	arg  int64
+}
+
+func signature(rec *synctrace.Recorder, w int) []key {
+	var out []key
+	for _, e := range rec.WorkerEvents(w) {
+		out = append(out, key{e.Kind, e.Site, e.Arg})
+	}
+	return out
+}
+
+// TestTraceDeterminism pins the tracer's run-to-run stability under
+// adversarial timing: with chaos injection active (and the sanitizer
+// auditing the same run), each worker's event *sequence* — kinds, site
+// attribution, args, in order — must be identical across runs; only
+// timestamps may differ. Four kernels cover barrier, counter, neighbor
+// and wavefront synchronization.
+func TestTraceDeterminism(t *testing.T) {
+	kernels := []string{"jacobi1d", "redblack", "dotchain", "guardedpivot"}
+	const workers = 4
+	for _, name := range kernels {
+		t.Run(name, func(t *testing.T) {
+			cfg := exec.Config{ChaosSeed: 7, Sanitize: true,
+				WatchdogTimeout: 60 * time.Second}
+			a := traceRun(t, name, workers, exec.SPMD, cfg)
+			b := traceRun(t, name, workers, exec.SPMD, cfg)
+			for _, res := range []*exec.Result{a, b} {
+				if res.Sanitizer == nil || !res.Sanitizer.Clean() {
+					t.Fatalf("sanitizer not clean with tracer enabled:\n%v", res.Sanitizer)
+				}
+			}
+			for w := 0; w < workers; w++ {
+				sa, sb := signature(a.Trace, w), signature(b.Trace, w)
+				if len(sa) != len(sb) {
+					t.Fatalf("w%d: %d events vs %d events across identical runs", w, len(sa), len(sb))
+				}
+				for i := range sa {
+					if sa[i] != sb[i] {
+						t.Fatalf("w%d event %d differs: %+v vs %+v", w, i, sa[i], sb[i])
+					}
+				}
+				// Site names must resolve identically too.
+				for i := range sa {
+					if a.Trace.SiteName(sa[i].site) != b.Trace.SiteName(sb[i].site) {
+						t.Fatalf("w%d event %d: site %d names differ", w, i, sa[i].site)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPerSiteStats checks that the new per-site breakdown is consistent
+// with the long-standing totals: per-site sums never exceed the totals,
+// and every scheduled barrier/counter/neighbor event lands in some site's
+// bucket (wavefront relays are deliberately unsited).
+func TestPerSiteStats(t *testing.T) {
+	for _, tc := range []struct {
+		kernel string
+		mode   exec.Mode
+	}{
+		{"dotchain", exec.ForkJoin},
+		{"dotchain", exec.SPMD},
+		{"jacobi1d", exec.SPMD},
+		{"guardedpivot", exec.SPMD},
+	} {
+		t.Run(fmt.Sprintf("%s/%s", tc.kernel, tc.mode), func(t *testing.T) {
+			res := traceRun(t, tc.kernel, 4, tc.mode, exec.Config{})
+			st := res.Stats
+			if len(st.PerSite) == 0 {
+				t.Fatal("no per-site stats recorded")
+			}
+			var sum struct {
+				Barriers, CounterIncrs, CounterWaits, NeighborWaits int64
+			}
+			for id, sc := range st.PerSite {
+				if id < 1 {
+					t.Errorf("per-site key %d not 1-based", id)
+				}
+				sum.Barriers += sc.Barriers
+				sum.CounterIncrs += sc.CounterIncrs
+				sum.CounterWaits += sc.CounterWaits
+				sum.NeighborWaits += sc.NeighborWaits
+			}
+			// Barriers, counters: every event is at a scheduled site, so
+			// the site sums must equal the totals exactly.
+			if sum.Barriers != st.Barriers {
+				t.Errorf("site barriers = %d, total %d", sum.Barriers, st.Barriers)
+			}
+			if sum.CounterIncrs != st.CounterIncrs || sum.CounterWaits != st.CounterWaits {
+				t.Errorf("site counters = %d/%d, totals %d/%d",
+					sum.CounterIncrs, sum.CounterWaits, st.CounterIncrs, st.CounterWaits)
+			}
+			// Neighbor waits include unsited wavefront relays: sites
+			// account for at most the total.
+			if sum.NeighborWaits > st.NeighborWaits {
+				t.Errorf("site neighbor-waits = %d > total %d", sum.NeighborWaits, st.NeighborWaits)
+			}
+			// The stable String() must not mention per-site data.
+			if want := fmt.Sprintf(
+				"barriers=%d counters(incr=%d,wait=%d) neighbor-waits=%d dispatches=%d",
+				st.Barriers, st.CounterIncrs, st.CounterWaits, st.NeighborWaits,
+				st.Dispatches); st.String() != want {
+				t.Errorf("String() = %q, want %q", st.String(), want)
+			}
+		})
+	}
+}
+
+// TestTraceOffNoRecorder pins that tracing stays off by default.
+func TestTraceOffNoRecorder(t *testing.T) {
+	k, err := suite.Get("jacobi1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.NewRunner(exec.Config{Workers: 2, Params: k.Params, Mode: exec.SPMD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Error("Result.Trace non-nil without Config.Trace")
+	}
+	if len(res.Stats.PerSite) == 0 {
+		t.Error("per-site stats should be collected even without tracing")
+	}
+}
+
+// TestTraceSummaryEndToEnd exercises Summarize on a real barrier-heavy
+// run: totals must reconcile with the recorder and imbalance profiles
+// must exist for barrier sites.
+func TestTraceSummaryEndToEnd(t *testing.T) {
+	res := traceRun(t, "dotchain", 4, exec.ForkJoin, exec.Config{})
+	s := synctrace.Summarize(res.Trace)
+	if s.Events != res.Trace.Recorded() {
+		t.Errorf("summary events %d != recorded %d", s.Events, res.Trace.Recorded())
+	}
+	if s.ByKind[synctrace.EvBarrier].Count != 4*res.Stats.Barriers {
+		t.Errorf("barrier events %d, want %d (P×episodes)",
+			s.ByKind[synctrace.EvBarrier].Count, 4*res.Stats.Barriers)
+	}
+	if len(s.Imbalance) == 0 {
+		t.Error("no barrier imbalance profiles for a barrier-heavy run")
+	}
+	for _, im := range s.Imbalance {
+		if im.Straggler < 0 || im.Straggler >= 4 || im.Episodes <= 0 {
+			t.Errorf("bad imbalance entry %+v", im)
+		}
+	}
+	if s.TotalWait() <= 0 {
+		t.Error("total wait is zero in a synchronizing run")
+	}
+}
+
+// TestTracingOverheadGuard is the recorder-overhead guard: tracing OFF
+// must stay within a tolerance of the recorded baseline (refreshed on
+// first run), and tracing ON must stay within a few percent of OFF.
+// Wall-clock medians on a shared, time-sliced host are noisy, so the
+// guard is opt-in: scripts/check.sh runs it with OVERHEAD_GUARD=1.
+func TestTracingOverheadGuard(t *testing.T) {
+	if os.Getenv("OVERHEAD_GUARD") == "" {
+		t.Skip("timing guard; set OVERHEAD_GUARD=1 to run (scripts/check.sh does)")
+	}
+	k, err := suite.Get("jacobi2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(trace bool) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 7; i++ {
+			r, err := c.NewRunner(exec.Config{Workers: 4, Params: k.Params,
+				Mode: exec.SPMD, Trace: trace})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Elapsed < best {
+				best = res.Elapsed
+			}
+		}
+		return best
+	}
+	off := measure(false)
+	on := measure(true)
+	t.Logf("tracing off: %s   tracing on: %s   (min of 7)", off, on)
+
+	onTol := envFloat(t, "TRACE_ON_TOL", 0.10)
+	if float64(on) > float64(off)*(1+onTol) {
+		t.Errorf("tracing-on overhead %.1f%% exceeds %.0f%%",
+			100*(float64(on)/float64(off)-1), 100*onTol)
+	}
+
+	// Cross-commit regression fence: compare tracing-off against the
+	// baseline recorded on this machine (created on first run; delete
+	// the file after an intentional runtime change).
+	const baselineFile = "../../scripts/.overhead_baseline"
+	offTol := envFloat(t, "OVERHEAD_TOL", 0.02)
+	if b, err := os.ReadFile(baselineFile); err == nil {
+		base, err := strconv.ParseInt(string(bytes.TrimSpace(b)), 10, 64)
+		if err != nil {
+			t.Fatalf("corrupt %s: %v", baselineFile, err)
+		}
+		if float64(off) > float64(base)*(1+offTol) {
+			t.Errorf("tracing-off run %s regressed >%.0f%% vs recorded baseline %s",
+				off, 100*offTol, time.Duration(base))
+		}
+	} else {
+		if err := os.WriteFile(baselineFile,
+			[]byte(strconv.FormatInt(int64(off), 10)+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded new tracing-off baseline %s in %s", off, baselineFile)
+	}
+}
+
+func envFloat(t *testing.T, name string, def float64) float64 {
+	t.Helper()
+	s := os.Getenv(name)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad %s=%q: %v", name, s, err)
+	}
+	return v
+}

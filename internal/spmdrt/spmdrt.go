@@ -19,43 +19,142 @@ package spmdrt
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/synctrace"
 )
 
 // Stats counts dynamic synchronization events. A barrier crossed by all P
 // workers counts as one executed barrier, matching the paper's metric.
+// Besides the totals, a Stats optionally carries per-sync-site counters
+// (InitSites) so the executor can attribute every dynamic event to the
+// scheduled boundary that caused it.
 type Stats struct {
 	Barriers      atomic.Int64
 	CounterIncrs  atomic.Int64
 	CounterWaits  atomic.Int64
 	NeighborWaits atomic.Int64
 	Dispatches    atomic.Int64
+	// sites, when initialized, holds one padded counter block per
+	// scheduled sync site (indexed by 0-based site id).
+	sites []siteCounters
+}
+
+type siteCounters struct {
+	barriers, counterIncrs, counterWaits, neighborWaits atomic.Int64
+	_                                                   pad
+}
+
+// InitSites allocates per-site counters for n scheduled sync sites.
+// Call before the team runs; per-site methods are no-ops until then.
+func (s *Stats) InitSites(n int) {
+	if n > 0 {
+		s.sites = make([]siteCounters, n)
+	}
+}
+
+// SiteBarrier attributes one executed barrier to 0-based site id.
+// Out-of-range ids (including the executor's -1 "unsited") are ignored.
+func (s *Stats) SiteBarrier(site int) {
+	if site >= 0 && site < len(s.sites) {
+		s.sites[site].barriers.Add(1)
+	}
+}
+
+// SiteCounterIncr attributes one counter increment to a site.
+func (s *Stats) SiteCounterIncr(site int) {
+	if site >= 0 && site < len(s.sites) {
+		s.sites[site].counterIncrs.Add(1)
+	}
+}
+
+// SiteCounterWait attributes one counter wait to a site.
+func (s *Stats) SiteCounterWait(site int) {
+	if site >= 0 && site < len(s.sites) {
+		s.sites[site].counterWaits.Add(1)
+	}
+}
+
+// SiteNeighborWait attributes one point-to-point wait to a site.
+func (s *Stats) SiteNeighborWait(site int) {
+	if site >= 0 && site < len(s.sites) {
+		s.sites[site].neighborWaits.Add(1)
+	}
 }
 
 // Snapshot returns a plain-value copy of the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
-	return StatsSnapshot{
+	snap := StatsSnapshot{
 		Barriers:      s.Barriers.Load(),
 		CounterIncrs:  s.CounterIncrs.Load(),
 		CounterWaits:  s.CounterWaits.Load(),
 		NeighborWaits: s.NeighborWaits.Load(),
 		Dispatches:    s.Dispatches.Load(),
 	}
+	if s.sites != nil {
+		snap.PerSite = map[int]SiteCounts{}
+		for i := range s.sites {
+			sc := SiteCounts{
+				Barriers:      s.sites[i].barriers.Load(),
+				CounterIncrs:  s.sites[i].counterIncrs.Load(),
+				CounterWaits:  s.sites[i].counterWaits.Load(),
+				NeighborWaits: s.sites[i].neighborWaits.Load(),
+			}
+			if sc != (SiteCounts{}) {
+				snap.PerSite[i+1] = sc
+			}
+		}
+	}
+	return snap
 }
 
-// StatsSnapshot is an immutable copy of Stats.
+// SiteCounts is one sync site's share of the dynamic event totals.
+type SiteCounts struct {
+	Barriers      int64
+	CounterIncrs  int64
+	CounterWaits  int64
+	NeighborWaits int64
+}
+
+// StatsSnapshot is an immutable copy of Stats. PerSite, when the run was
+// site-attributed (Stats.InitSites), maps 1-based sync-site ids — the
+// numbering of watchdog reports and SabotageEdge — to that site's counts;
+// sites that executed no events are omitted.
 type StatsSnapshot struct {
 	Barriers      int64
 	CounterIncrs  int64
 	CounterWaits  int64
 	NeighborWaits int64
 	Dispatches    int64
+	PerSite       map[int]SiteCounts
 }
 
 func (s StatsSnapshot) String() string {
 	return fmt.Sprintf("barriers=%d counters(incr=%d,wait=%d) neighbor-waits=%d dispatches=%d",
 		s.Barriers, s.CounterIncrs, s.CounterWaits, s.NeighborWaits, s.Dispatches)
+}
+
+// PerSiteString renders the per-site counts, one line per active site in
+// site order; empty when the run was not site-attributed.
+func (s StatsSnapshot) PerSiteString() string {
+	if len(s.PerSite) == 0 {
+		return ""
+	}
+	ids := make([]int, 0, len(s.PerSite))
+	for id := range s.PerSite {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var sb strings.Builder
+	for _, id := range ids {
+		sc := s.PerSite[id]
+		fmt.Fprintf(&sb, "site %d: barriers=%d counters(incr=%d,wait=%d) neighbor-waits=%d\n",
+			id, sc.Barriers, sc.CounterIncrs, sc.CounterWaits, sc.NeighborWaits)
+	}
+	return strings.TrimRight(sb.String(), "\n")
 }
 
 // BarrierKind selects a barrier implementation.
@@ -289,14 +388,37 @@ type Counter struct {
 	// Site, if set, labels the counter in watchdog deadlock reports (the
 	// executor tags each counter with its sync-site id).
 	Site string
+	// Trace recording (BindTrace): nil rec disables with one branch.
+	rec                *synctrace.Recorder
+	traceSite          int32
+	kindPost, kindWait synctrace.Kind
 }
 
 // NewCounter returns an unmonitored counter starting at zero; use
 // Team.NewCounter to bind a counter to a team's watchdog.
 func NewCounter() *Counter { return &Counter{} }
 
+// BindTrace attaches a trace recorder: AddAs records an instant `post`
+// event and WaitGEAs records a `wait` span, both tagged with the given
+// sync-site id. Setup-time only.
+func (c *Counter) BindTrace(rec *synctrace.Recorder, site int32, post, wait synctrace.Kind) {
+	c.rec, c.traceSite, c.kindPost, c.kindWait = rec, site, post, wait
+}
+
 // Add increments the counter by d, releasing satisfied waiters.
 func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// PostAs is Add on behalf of team worker w, recording an instant post
+// event when tracing is bound. arg is the caller-chosen event argument
+// (the executor passes its deterministic cumulative target / dispatch
+// sequence number — NOT the post-add counter value, which is racy under
+// concurrent producers and would break run-to-run trace comparison).
+func (c *Counter) PostAs(w int, d, arg int64) {
+	if c.rec != nil && w >= 0 {
+		c.rec.Instant(w, c.kindPost, c.traceSite, arg)
+	}
+	c.v.Add(d)
+}
 
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
@@ -309,7 +431,17 @@ func (c *Counter) WaitGE(target int64) { c.WaitGEAs(-1, target) }
 // to a team, the wait registers with the team Monitor so watchdog reports
 // name the blocked worker, its counter site and target-vs-observed values.
 func (c *Counter) WaitGEAs(w int, target int64) {
+	var start int64
+	rec := c.rec
+	if rec != nil && w >= 0 {
+		start = rec.Now()
+	} else {
+		rec = nil
+	}
 	if c.v.Load() >= target {
+		if rec != nil {
+			rec.Record(w, c.kindWait, c.traceSite, target, start)
+		}
 		return
 	}
 	m := c.mon
@@ -325,6 +457,9 @@ func (c *Counter) WaitGEAs(w int, target int64) {
 			observe: c.v.Load,
 		}
 	}, func() bool { return c.v.Load() >= target })
+	if rec != nil {
+		rec.Record(w, c.kindWait, c.traceSite, target, start)
+	}
 }
 
 // P2P provides per-worker monotonic completion counters for neighbor and
@@ -333,6 +468,9 @@ func (c *Counter) WaitGEAs(w int, target int64) {
 type P2P struct {
 	slots []*Counter
 	mon   *Monitor
+	// Trace recording (BindTrace): nil rec disables with one branch.
+	rec       *synctrace.Recorder
+	traceSite int32
 }
 
 // NewP2P builds unmonitored completion counters for n workers; use
@@ -347,6 +485,13 @@ func newP2P(n int, m *Monitor) *P2P {
 	return p
 }
 
+// BindTrace attaches a trace recorder: WaitForAs records a neighbor-wait
+// span tagged with the given sync-site id (Arg = the awaited peer's
+// rank). Setup-time only.
+func (p *P2P) BindTrace(rec *synctrace.Recorder, site int32) {
+	p.rec, p.traceSite = rec, site
+}
+
 // Post records that worker w completed one more step.
 func (p *P2P) Post(w int) { p.slots[w].Add(1) }
 
@@ -357,8 +502,18 @@ func (p *P2P) WaitFor(w int, value int64) { p.WaitForAs(-1, w, value) }
 // WaitForAs is WaitFor on behalf of team worker self, registered with the
 // team Monitor when the P2P set is team-bound.
 func (p *P2P) WaitForAs(self, w int, value int64) {
+	var start int64
+	rec := p.rec
+	if rec != nil && self >= 0 {
+		start = rec.Now()
+	} else {
+		rec = nil
+	}
 	c := p.slots[w]
 	if c.v.Load() >= value {
+		if rec != nil {
+			rec.Record(self, synctrace.EvNeighborWait, p.traceSite, int64(w), start)
+		}
 		return
 	}
 	m := p.mon
@@ -374,6 +529,9 @@ func (p *P2P) WaitForAs(self, w int, value int64) {
 			observe: c.v.Load,
 		}
 	}, func() bool { return c.v.Load() >= value })
+	if rec != nil {
+		rec.Record(self, synctrace.EvNeighborWait, p.traceSite, int64(w), start)
+	}
 }
 
 // Progress returns worker w's posted count.
@@ -386,6 +544,10 @@ type Team struct {
 	barrier Barrier
 	kind    BarrierKind
 	mon     *Monitor
+	// trace, when bound via SetTrace, records barrier episodes; eps holds
+	// each worker's episode number (padded, owner-written).
+	trace *synctrace.Recorder
+	eps   []paddedInt
 }
 
 // NewTeam creates a team of n workers using the given barrier kind.
@@ -405,6 +567,17 @@ func (t *Team) BarrierKind() BarrierKind { return t.kind }
 // d <= 0 disarms it.
 func (t *Team) SetWatchdog(d time.Duration) { t.mon.setDeadline(d) }
 
+// SetTrace binds a sync-event recorder: every barrier episode records an
+// enter/exit span per worker. Counters and P2P sets bind separately
+// (BindTrace) since only their creator knows the sync-site ids. Call
+// before Run; a nil recorder disables barrier tracing.
+func (t *Team) SetTrace(rec *synctrace.Recorder) {
+	t.trace = rec
+	if rec != nil && t.eps == nil {
+		t.eps = make([]paddedInt, t.N)
+	}
+}
+
 // NewCounter returns a counter bound to this team's watchdog.
 func (t *Team) NewCounter() *Counter { return &Counter{mon: t.mon} }
 
@@ -421,10 +594,24 @@ func (t *Team) Run(fn func(w int)) error {
 	return runWorkers(t.N, t.mon, fn)
 }
 
-// Barrier synchronizes all team workers and counts one barrier episode.
-func (t *Team) Barrier(w int) {
+// Barrier synchronizes all team workers and counts one barrier episode,
+// unattributed to any sync site.
+func (t *Team) Barrier(w int) { t.BarrierAt(w, -1) }
+
+// BarrierAt is Barrier attributed to a 0-based sync-site id: the episode
+// counts against the site's Stats slot and, when a recorder is bound, is
+// recorded as an enter/exit span (Arg = the worker's episode number).
+func (t *Team) BarrierAt(w, site int) {
 	if w == 0 {
 		t.Stats.Barriers.Add(1)
+		t.Stats.SiteBarrier(site)
+	}
+	if rec := t.trace; rec != nil {
+		start := rec.Now()
+		t.barrier.Wait(w)
+		t.eps[w].v++
+		rec.Record(w, synctrace.EvBarrier, int32(site), t.eps[w].v, start)
+		return
 	}
 	t.barrier.Wait(w)
 }

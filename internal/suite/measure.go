@@ -2,6 +2,7 @@ package suite
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/region"
 	"repro/internal/spmdrt"
+	"repro/internal/synctrace"
 	"repro/internal/syncopt"
 )
 
@@ -35,6 +37,10 @@ type Metrics struct {
 	// Elapsed time (Table 4).
 	BaseTime, OptTime time.Duration
 
+	// Sync-wait decomposition (Table W): trace summaries of the two runs
+	// (nil unless MeasureOptions.Trace).
+	BaseWait, OptWait *synctrace.Summary
+
 	// Correctness cross-check against the sequential interpreter.
 	MaxDiff float64
 }
@@ -56,6 +62,9 @@ type MeasureOptions struct {
 	Sync syncopt.Options
 	// Params overrides the kernel's standard input when non-nil.
 	Params map[string]int64
+	// Trace records sync events in both runs and fills Metrics.BaseWait
+	// and Metrics.OptWait with their summaries (Table W).
+	Trace bool
 }
 
 // Measure compiles and runs one kernel in both baseline and optimized
@@ -100,7 +109,7 @@ func Measure(k Kernel, opt MeasureOptions) (Metrics, error) {
 	}
 
 	base, err := c.NewBaselineRunner(exec.Config{
-		Workers: opt.Workers, Barrier: opt.Barrier, Params: params})
+		Workers: opt.Workers, Barrier: opt.Barrier, Params: params, Trace: opt.Trace})
 	if err != nil {
 		return m, err
 	}
@@ -115,7 +124,8 @@ func Measure(k Kernel, opt MeasureOptions) (Metrics, error) {
 	m.BaseTime = bres.Elapsed
 
 	optr, err := c.NewRunner(exec.Config{
-		Workers: opt.Workers, Barrier: opt.Barrier, Params: params, Mode: exec.SPMD})
+		Workers: opt.Workers, Barrier: opt.Barrier, Params: params, Mode: exec.SPMD,
+		Trace: opt.Trace})
 	if err != nil {
 		return m, err
 	}
@@ -130,7 +140,52 @@ func Measure(k Kernel, opt MeasureOptions) (Metrics, error) {
 	m.MaxDiff = exec.ComparableDiff(ref, ores.State, c.Prog)
 	m.DynOpt = ores.Stats
 	m.OptTime = ores.Elapsed
+	m.BaseWait, m.OptWait, err = pairedMedianWait(base, optr,
+		synctrace.Summarize(bres.Trace), synctrace.Summarize(ores.Trace))
+	if err != nil {
+		return m, fmt.Errorf("%s: trace rerun: %w", k.Name, err)
+	}
 	return m, nil
+}
+
+// waitSamples is the number of traced runs per mode whose median Table W
+// reports (the first measured run plus waitSamples-1 re-runs).
+const waitSamples = 10
+
+// pairedMedianWait re-runs the two traced runners, interleaved base/opt,
+// until each side has waitSamples summaries, and returns each side's
+// median-total-wait summary. Wall-clock waits on a time-sliced host carry
+// heavy scheduler noise; the median is robust to it where a min or mean
+// is one outlier run away from flipping a comparison, and interleaving
+// the two sides keeps ambient-load drift from biasing one of them. The
+// returned summaries are real single-run summaries (the median run), so
+// their per-site breakdowns stay internally consistent. Nil summaries
+// (tracing off) return nil without re-running.
+func pairedMedianWait(base, opt *exec.Runner, b0, o0 *synctrace.Summary) (*synctrace.Summary, *synctrace.Summary, error) {
+	if b0 == nil || o0 == nil {
+		return b0, o0, nil
+	}
+	bs, os := []*synctrace.Summary{b0}, []*synctrace.Summary{o0}
+	for i := 1; i < waitSamples; i++ {
+		rb, err := base.Run()
+		if err != nil {
+			return nil, nil, err
+		}
+		bs = append(bs, synctrace.Summarize(rb.Trace))
+		ro, err := opt.Run()
+		if err != nil {
+			return nil, nil, err
+		}
+		os = append(os, synctrace.Summarize(ro.Trace))
+	}
+	return medianWait(bs), medianWait(os), nil
+}
+
+// medianWait returns the summary with the median total wait (the lower
+// of the two middle elements for even sample counts).
+func medianWait(ss []*synctrace.Summary) *synctrace.Summary {
+	sort.Slice(ss, func(i, j int) bool { return ss[i].TotalWait() < ss[j].TotalWait() })
+	return ss[(len(ss)-1)/2]
 }
 
 // MeasureAll measures every suite kernel.

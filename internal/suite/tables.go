@@ -10,6 +10,7 @@ import (
 	"repro/internal/costsim"
 	"repro/internal/exec"
 	"repro/internal/spmdrt"
+	"repro/internal/synctrace"
 )
 
 // Table1 prints benchmark characteristics (paper's program table).
@@ -56,6 +57,51 @@ func Table3(w io.Writer, ms []Metrics) {
 		fmt.Fprintf(w, "%-14s %37.1f%%   (paper reports 29%% on its suite)\n",
 			"MEAN", sum/float64(len(ms))*100)
 	}
+}
+
+// TableW decomposes the elapsed-time story of Table 4 into waiting: total
+// synchronization wait time (summed over workers, from the sync-event
+// trace) in the fork-join baseline vs the optimized SPMD run, with each
+// run's most expensive sync site. This is the per-site evidence that the
+// optimizer's cheaper counters/p2p actually remove wait, not just events.
+func TableW(w io.Writer, ms []Metrics) {
+	fmt.Fprintf(w, "Table W: per-site synchronization wait, fork-join base vs optimized SPMD (P=%d)\n",
+		workersOf(ms))
+	fmt.Fprintf(w, "%-14s %11s %11s %10s  %-34s %s\n",
+		"program", "base.wait", "opt.wait", "reduction", "top base site", "top opt site")
+	better, traced := 0, 0
+	for _, m := range ms {
+		if m.BaseWait == nil || m.OptWait == nil {
+			fmt.Fprintf(w, "%-14s %11s %11s %10s  (run with tracing to fill this row)\n",
+				m.Kernel.Name, "-", "-", "-")
+			continue
+		}
+		traced++
+		bw, ow := m.BaseWait.TotalWait(), m.OptWait.TotalWait()
+		if ow < bw {
+			better++
+		}
+		red := 0.0
+		if bw > 0 {
+			red = 1 - float64(ow)/float64(bw)
+		}
+		fmt.Fprintf(w, "%-14s %11s %11s %9.1f%%  %-34s %s\n",
+			m.Kernel.Name,
+			bw.Round(time.Microsecond), ow.Round(time.Microsecond), red*100,
+			topSiteCell(m.BaseWait), topSiteCell(m.OptWait))
+	}
+	if traced > 0 {
+		fmt.Fprintf(w, "optimized wait < baseline wait on %d/%d kernels\n", better, traced)
+	}
+}
+
+// topSiteCell renders a summary's costliest sync site as a table cell.
+func topSiteCell(s *synctrace.Summary) string {
+	top := s.TopSite()
+	if top == nil {
+		return "(no sync waits)"
+	}
+	return fmt.Sprintf("%s %s", top.Name, top.Total.Round(time.Microsecond))
 }
 
 func workersOf(ms []Metrics) int {

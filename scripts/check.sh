@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full correctness battery: vet, build, race-detector tests, and a
-# chaos + sanitizer + watchdog smoke of representative suite kernels.
+# Full correctness battery: vet, build, race-detector tests, a
+# chaos + sanitizer + watchdog smoke of representative suite kernels,
+# trace-export and Table W smokes, and the tracing overhead guard.
 # Run from anywhere; operates on the repository containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,6 +29,41 @@ smoke redblack -param N=64 -param T=3
 smoke pipeline -param N=64 -param M=16
 smoke dotchain -param N=64
 smoke guardedpivot -param N=32
+
+echo "== trace smoke (spmdrun -trace) =="
+# The Chrome trace export must be valid JSON with per-worker tracks; the
+# schema proper is pinned by TestTraceChromeSchema, this is the CLI path.
+trace_tmp="$(mktemp -t spmdtrace.XXXXXX.json)"
+trap 'rm -f "$trace_tmp"' EXIT
+go run ./cmd/spmdrun -kernel jacobi2d -p 8 -param N=64 -param T=4 \
+    -trace "$trace_tmp" -trace-summary >/dev/null 2>&1
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['traceEvents'], 'empty traceEvents'" "$trace_tmp"
+fi
+echo "-- wrote and validated $(wc -c <"$trace_tmp") bytes of trace JSON"
+
+echo "== tracing overhead guard =="
+# Fails if tracing-off regresses >2% against the recorded machine-local
+# baseline (scripts/.overhead_baseline, created on first run) or if
+# tracing-on costs more than 10% over tracing-off. Env-gated so the
+# timing-sensitive comparison never runs under plain 'go test ./...'.
+OVERHEAD_GUARD=1 go test -run TestTracingOverheadGuard ./internal/exec -count=1 -v
+
+echo "== benchtab Table W smoke =="
+# The wait-decomposition table must build and report optimized wait below
+# baseline wait on at least half the suite kernels (acceptance criterion).
+tablew="$(go run ./cmd/benchtab -p 4 -table W)"
+echo "$tablew" | tail -n 3
+echo "$tablew" | grep -q "optimized wait < baseline wait" || {
+    echo "ERROR: Table W footer missing" >&2
+    exit 1
+}
+wins=$(echo "$tablew" | sed -n 's/.*optimized wait < baseline wait on \([0-9]*\)\/\([0-9]*\) kernels.*/\1 \2/p')
+read -r won total <<<"$wins"
+if [ "$won" -lt $(( (total + 1) / 2 )) ]; then
+    echo "ERROR: optimized wait beat baseline on only $won/$total kernels (need >= half)" >&2
+    exit 1
+fi
 
 echo "== sabotage must be caught =="
 # Dropping a scheduled sync edge has to make spmdrun fail (sanitizer
