@@ -7,16 +7,30 @@
 //
 //	barrierc [-explain] [-cyclic] [-ablate repl|merge] <file.dsl>
 //	barrierc -kernel jacobi2d -explain
+//	barrierc -lint <file.dsl>
+//	barrierc -kernel jacobi1d -certify [-sabotage N] [-witness]
 //	barrierc -list
+//
+// With -lint the program is checked by the source-level DSL linter and the
+// diagnostics are printed go-vet style; the exit status is 0 when the
+// program is clean (informational notes allowed), 1 when any warning or
+// error was found, and 2 on an internal error. With -certify the optimized
+// schedule is re-checked by the independent static certifier and the JSON
+// certificate is printed; -sabotage N demotes sync site N (1-based, the
+// executor's SabotageEdge numbering) first, and -witness renders a
+// rejection as JSON including the concrete counterexample witnesses.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/decomp"
+	"repro/internal/lint"
 	"repro/internal/suite"
 	"repro/internal/syncopt"
 )
@@ -28,6 +42,10 @@ func main() {
 		explain = flag.Bool("explain", false, "print placements, serial reasons and per-boundary sync")
 		cyclic  = flag.Bool("cyclic", false, "use a cyclic data decomposition")
 		ablate  = flag.String("ablate", "", "disable an optimization: repl (replacement) or merge (group merging)")
+		lintF   = flag.Bool("lint", false, "lint the program and exit (0 clean, 1 findings, 2 internal error)")
+		certF   = flag.Bool("certify", false, "re-check the schedule with the independent certifier; print the JSON certificate")
+		sabot   = flag.Int("sabotage", 0, "with -certify: demote sync site N (1-based) to none before checking")
+		witness = flag.Bool("witness", false, "with -certify: print rejections as JSON including witnesses")
 	)
 	flag.Parse()
 
@@ -40,7 +58,20 @@ func main() {
 
 	src, name, err := loadSource(*kernel, flag.Args())
 	if err != nil {
+		if *lintF {
+			fmt.Fprintln(os.Stderr, "barrierc:", err)
+			os.Exit(2)
+		}
 		fail(err)
+	}
+
+	if *lintF {
+		diags := lint.Source(src)
+		fmt.Print(lint.Render(name, diags))
+		if lint.HasFindings(diags) {
+			os.Exit(1)
+		}
+		return
 	}
 
 	opts := core.Options{}
@@ -60,6 +91,11 @@ func main() {
 	c, err := core.Compile(src, opts)
 	if err != nil {
 		fail(err)
+	}
+
+	if *certF {
+		runCertify(c, *sabot, *witness)
+		return
 	}
 
 	if *explain {
@@ -84,6 +120,36 @@ func main() {
 		bst.Barriers, st.Barriers, st.Counters, st.Neighbors)
 	fmt.Println("\nschedule:")
 	fmt.Print(c.Schedule.Dump())
+}
+
+// runCertify re-checks the compiled schedule (optionally sabotaged) with
+// the independent certifier. Exit status: 0 certified, 1 rejected, 2
+// internal error (solver-oracle disagreement or bad site id).
+func runCertify(c *core.Compiled, sabotage int, witness bool) {
+	cs := core.ToCertify(c.Schedule)
+	an := certify.Analyze(c.Prog, cs, c.CertifyOptions())
+	if len(an.OracleErrs) > 0 {
+		fmt.Fprintln(os.Stderr, "barrierc:", an.OracleErrs[0])
+		os.Exit(2)
+	}
+	if n := len(cs.Sites()); sabotage < 0 || sabotage > n {
+		fmt.Fprintf(os.Stderr, "barrierc: -sabotage %d out of range (schedule has %d sync sites)\n", sabotage, n)
+		os.Exit(2)
+	}
+	if sabotage > 0 {
+		cs = cs.DropSite(sabotage - 1)
+	}
+	cert, viols := an.Check(cs)
+	if len(viols) > 0 {
+		if witness {
+			b, _ := json.MarshalIndent(viols, "", "  ")
+			fmt.Println(string(b))
+		}
+		fmt.Fprintf(os.Stderr, "barrierc: schedule rejected (%d unordered flows):\n%s",
+			len(viols), certify.RenderViolations(viols))
+		os.Exit(1)
+	}
+	os.Stdout.Write(cert.JSON())
 }
 
 func loadSource(kernel string, args []string) (src, name string, err error) {

@@ -1,0 +1,303 @@
+package certify
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/decomp"
+	"repro/internal/ir"
+	"repro/internal/region"
+)
+
+// Options configure an analysis. The certifier recomputes the decomposition
+// plan and region classification itself, so the caller only names the
+// decomposition kind the schedule was built for.
+type Options struct {
+	Decomp decomp.Kind
+	// MinParam is the smallest value assumed for every program parameter
+	// (clamped to at least 1).
+	MinParam int64
+}
+
+// Analysis holds the cross-processor flows recomputed for one program under
+// one schedule's group structure. The flows depend only on how statements
+// are grouped, not on which primitives sit on the boundaries, so one
+// Analysis can Check many boundary variants of the same grouping (e.g.
+// every DropSite sabotage) without re-running the solver.
+type Analysis struct {
+	prog   *ir.Program
+	dec    decomp.Kind
+	flows  map[*ir.Loop][]*Flow // key nil = top region
+	groups map[*ir.Loop]int     // group count per region, for shape checks
+	// OracleErrs records FM/enumeration disagreements seen during the
+	// analysis — evidence of a decision-procedure bug, surfaced so
+	// callers can refuse to trust the certificate.
+	OracleErrs []error
+}
+
+// Violation is one flow the schedule fails to order, with a concrete
+// counterexample witness when one exists in the search box.
+type Violation struct {
+	Region  string    `json:"region"`
+	From    int       `json:"from"`
+	To      int       `json:"to"`
+	Carried bool      `json:"carried,omitempty"`
+	Class   FlowClass `json:"class"`
+	Variant string    `json:"variant"`
+	Pairs   []string  `json:"pairs,omitempty"`
+	Witness *Witness  `json:"witness,omitempty"`
+}
+
+func (v Violation) String() string {
+	kind := "flow"
+	if v.Carried {
+		kind = "carried flow"
+	}
+	s := fmt.Sprintf("%s: %s group %d -> group %d (%s, %s) unordered",
+		v.Region, kind, v.From, v.To, v.Class, v.Variant)
+	for _, p := range v.Pairs {
+		s += "\n    " + p
+	}
+	if v.Witness != nil {
+		s += "\n    witness: " + v.Witness.String()
+	}
+	return s
+}
+
+// Certificate is the machine-readable record of a successful check: every
+// sync site of the schedule and, for every recomputed flow, the primitive
+// that orders each of its geometry variants.
+type Certificate struct {
+	Program string     `json:"program"`
+	Decomp  string     `json:"decomp"`
+	Sites   []SiteCert `json:"sites"`
+	Flows   []FlowCert `json:"flows"`
+}
+
+// SiteCert describes one sync site of the certified schedule.
+type SiteCert struct {
+	Id       int      `json:"id"`
+	Region   string   `json:"region"`
+	Boundary int      `json:"boundary"`
+	Kind     string   `json:"kind"`
+	Waits    []string `json:"waits,omitempty"`
+}
+
+// FlowCert records one recomputed flow and how each variant is ordered.
+type FlowCert struct {
+	Region    string     `json:"region"`
+	From      int        `json:"from"`
+	To        int        `json:"to"`
+	Carried   bool       `json:"carried,omitempty"`
+	Class     string     `json:"class"`
+	Waits     []string   `json:"waits,omitempty"`
+	Pairs     []string   `json:"pairs,omitempty"`
+	OrderedBy []OrderRec `json:"ordered_by"`
+}
+
+// OrderRec names the primitive that orders one variant of a flow: the
+// boundary it sits on, the iteration it is crossed in (0 = producing
+// iteration, 1 = consuming iteration of a carried flow), and its global
+// sync-site id.
+type OrderRec struct {
+	Variant   string `json:"variant"`
+	Boundary  int    `json:"boundary"`
+	Iteration int    `json:"iteration,omitempty"`
+	Primitive string `json:"primitive"`
+	Site      int    `json:"site"`
+}
+
+// JSON renders the certificate.
+func (c *Certificate) JSON() []byte {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil { // only on unmarshalable types, which these are not
+		return []byte("{}")
+	}
+	return append(b, '\n')
+}
+
+// Analyze recomputes every cross-processor flow of prog under the group
+// structure of sched. It mirrors the optimizer's region walk — pairwise
+// loop-independent flows between groups, all-pairs carried flows around
+// sequential loops, recursion into nested regions — but derives the
+// verdicts from its own solver systems.
+func Analyze(prog *ir.Program, sched *Schedule, opts Options) *Analysis {
+	plan := decomp.Build(prog, opts.Decomp)
+	info := region.Classify(prog, plan.Wavefront)
+	a := newAnalyzer(prog, plan, info.Modes, opts.MinParam)
+	an := &Analysis{
+		prog:   prog,
+		dec:    opts.Decomp,
+		flows:  map[*ir.Loop][]*Flow{},
+		groups: map[*ir.Loop]int{},
+	}
+	var walk func(r *Region, outer []*ir.Loop)
+	walk = func(r *Region, outer []*ir.Loop) {
+		inner := outer
+		if r.Loop != nil {
+			inner = append(append([]*ir.Loop(nil), outer...), r.Loop)
+		}
+		n := len(r.Groups)
+		an.groups[r.Loop] = n
+		add := func(f Flow) {
+			fc := f
+			an.flows[r.Loop] = append(an.flows[r.Loop], &fc)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				f := a.between(r.Groups[i], r.Groups[j], inner, nil)
+				if f.Class == FlowNone {
+					continue
+				}
+				f.Loop, f.From, f.To = r.Loop, i, j
+				add(f)
+			}
+		}
+		if r.Loop != nil {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					f := a.between(r.Groups[i], r.Groups[j], outer, r.Loop)
+					if f.Class == FlowNone {
+						continue
+					}
+					f.Loop, f.From, f.To, f.Carried = r.Loop, i, j, true
+					add(f)
+				}
+			}
+		}
+		for _, g := range r.Groups {
+			for _, s := range g {
+				if l, ok := s.(*ir.Loop); ok {
+					if sub := sched.Regions[l]; sub != nil {
+						walk(sub, inner)
+					}
+				}
+			}
+		}
+	}
+	if sched.Top != nil {
+		walk(sched.Top, nil)
+	}
+	an.OracleErrs = a.oracleErrs
+	return an
+}
+
+type siteKey struct {
+	loop *ir.Loop
+	idx  int
+}
+
+// Check certifies sched against the analysis. sched must share the group
+// structure the analysis was computed from (the original schedule or any
+// DropSite variant of it); regions are matched by their loop. It returns
+// the certificate on success, or the list of unordered flows.
+func (an *Analysis) Check(sched *Schedule) (*Certificate, []Violation) {
+	cert := &Certificate{Program: an.prog.Name, Decomp: an.dec.String(), Flows: []FlowCert{}}
+	siteID := map[siteKey]int{}
+	for id, s := range sched.Sites() {
+		siteID[siteKey{s.Region.Loop, s.Index}] = id
+		b := s.Region.After[s.Index]
+		cert.Sites = append(cert.Sites, SiteCert{
+			Id: id, Region: regionLabel(s.Region.Loop), Boundary: s.Index,
+			Kind: b.Kind.String(), Waits: waitList(b.Kind == KindNeighbor, b.WaitLower, b.WaitUpper),
+		})
+	}
+	var viols []Violation
+	var walk func(r *Region)
+	walk = func(r *Region) {
+		label := regionLabel(r.Loop)
+		if an.groups[r.Loop] != len(r.Groups) {
+			viols = append(viols, Violation{Region: label, Variant: "general",
+				Pairs: []string{"schedule group structure differs from the analyzed schedule"}})
+			return
+		}
+		for _, f := range an.flows[r.Loop] {
+			fc := FlowCert{
+				Region: label, From: f.From, To: f.To, Carried: f.Carried,
+				Class: f.Class.String(),
+				Waits: waitList(f.Class == FlowNeighbor, f.Lower, f.Upper),
+				Pairs: f.Pairs,
+			}
+			crossings := crossingsOf(r, f)
+			ok := true
+			for _, v := range variantsOf(f) {
+				c, ordered := hbOrdered(r, crossings, f, v)
+				if !ordered {
+					ok = false
+					viols = append(viols, Violation{
+						Region: label, From: f.From, To: f.To, Carried: f.Carried,
+						Class: f.Class, Variant: v.String(), Pairs: f.Pairs,
+						Witness: witnessFor(an.prog, f),
+					})
+					continue
+				}
+				fc.OrderedBy = append(fc.OrderedBy, OrderRec{
+					Variant: v.String(), Boundary: c.boundary, Iteration: c.iter,
+					Primitive: r.After[c.boundary].Kind.String(),
+					Site:      siteID[siteKey{r.Loop, c.boundary}],
+				})
+			}
+			if ok {
+				cert.Flows = append(cert.Flows, fc)
+			}
+		}
+		for _, g := range r.Groups {
+			for _, s := range g {
+				if l, ok := s.(*ir.Loop); ok {
+					if sub := sched.Regions[l]; sub != nil {
+						walk(sub)
+					}
+				}
+			}
+		}
+	}
+	if sched.Top != nil {
+		walk(sched.Top)
+	}
+	if len(viols) > 0 {
+		return nil, viols
+	}
+	return cert, nil
+}
+
+// Certify analyzes and checks in one step. The error reports oracle
+// disagreements: when FM and enumeration contradict each other the solver
+// itself is suspect and neither the certificate nor the violations should
+// be trusted.
+func Certify(prog *ir.Program, sched *Schedule, opts Options) (*Certificate, []Violation, error) {
+	an := Analyze(prog, sched, opts)
+	cert, viols := an.Check(sched)
+	return cert, viols, errors.Join(an.OracleErrs...)
+}
+
+func regionLabel(l *ir.Loop) string {
+	if l == nil {
+		return "<top>"
+	}
+	return "loop " + l.Index
+}
+
+func waitList(neighbor, lower, upper bool) []string {
+	if !neighbor {
+		return nil
+	}
+	var out []string
+	if lower {
+		out = append(out, "lower")
+	}
+	if upper {
+		out = append(out, "upper")
+	}
+	return out
+}
+
+// RenderViolations formats violations one per line for diagnostics.
+func RenderViolations(viols []Violation) string {
+	var sb strings.Builder
+	for _, v := range viols {
+		sb.WriteString("  " + v.String() + "\n")
+	}
+	return sb.String()
+}

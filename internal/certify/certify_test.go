@@ -1,0 +1,167 @@
+package certify_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/certify"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/ir"
+	"repro/internal/suite"
+	"repro/internal/syncopt"
+)
+
+func compile(t *testing.T, src string) *core.Compiled {
+	t.Helper()
+	c, err := core.Compile(src, core.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return c
+}
+
+// TestSuiteKernelsCertify: the certifier must accept the optimizer's
+// schedule for every suite kernel, with no oracle disagreements, and every
+// recomputed flow must carry at least one ordering record in the
+// certificate.
+func TestSuiteKernelsCertify(t *testing.T) {
+	for _, k := range suite.Kernels() {
+		t.Run(k.Name, func(t *testing.T) {
+			c := compile(t, k.Source)
+			cert, viols, err := c.Certify()
+			if err != nil {
+				t.Fatalf("oracle disagreement: %v", err)
+			}
+			if len(viols) != 0 {
+				t.Fatalf("schedule rejected:\n%s", certify.RenderViolations(viols))
+			}
+			if cert == nil {
+				t.Fatal("accepted schedule produced no certificate")
+			}
+			var m map[string]interface{}
+			if err := json.Unmarshal(cert.JSON(), &m); err != nil {
+				t.Fatalf("certificate JSON: %v", err)
+			}
+			for _, f := range cert.Flows {
+				if len(f.OrderedBy) == 0 {
+					t.Errorf("flow %s %d->%d has no ordering record", f.Region, f.From, f.To)
+				}
+			}
+		})
+	}
+}
+
+// TestSiteNumberingMatchesExecutor: certify's global site ids must agree
+// with the executor's SabotageEdge numbering, so a static rejection of
+// DropSite(i) speaks about the same site the runtime faults with
+// SabotageEdge i+1.
+func TestSiteNumberingMatchesExecutor(t *testing.T) {
+	for _, k := range suite.Kernels() {
+		c := compile(t, k.Source)
+		cs := core.ToCertify(c.Schedule)
+		r, err := c.NewRunner(exec.Config{Workers: 2, Params: k.Params, Mode: exec.SPMD})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		kinds := cs.Kinds()
+		classes := r.SyncSiteClasses()
+		if len(kinds) != len(classes) {
+			t.Errorf("%s: %d certify sites vs %d executor sites", k.Name, len(kinds), len(classes))
+			continue
+		}
+		for i := range kinds {
+			if kinds[i].String() != classes[i].String() {
+				t.Errorf("%s: site %d is %s in certify, %s in executor", k.Name, i, kinds[i], classes[i])
+			}
+		}
+	}
+}
+
+// dropSyncopt clones a syncopt schedule with the boundary at the given
+// global site id demoted to none, using the same site numbering the
+// executor and certifier use.
+func dropSyncopt(s *syncopt.Schedule, id int) *syncopt.Schedule {
+	clone := &syncopt.Schedule{
+		Prog: s.Prog, Info: s.Info, Modes: s.Modes,
+		Regions: map[*ir.Loop]*syncopt.RegionSched{},
+	}
+	copyRegion := func(rs *syncopt.RegionSched) *syncopt.RegionSched {
+		return &syncopt.RegionSched{Loop: rs.Loop, Groups: rs.Groups,
+			After: append([]syncopt.Sync(nil), rs.After...)}
+	}
+	clone.Top = copyRegion(s.Top)
+	for l, rs := range s.Regions {
+		clone.Regions[l] = copyRegion(rs)
+	}
+	n := 0
+	var walk func(rs *syncopt.RegionSched)
+	walk = func(rs *syncopt.RegionSched) {
+		for i := range rs.After {
+			if n == id {
+				rs.After[i] = syncopt.Sync{Class: comm.ClassNone}
+			}
+			n++
+		}
+		for _, g := range rs.Groups {
+			for _, st := range g.Stmts {
+				if l, ok := st.(*ir.Loop); ok {
+					if sub := clone.Regions[l]; sub != nil {
+						walk(sub)
+					}
+				}
+			}
+		}
+	}
+	walk(clone.Top)
+	return clone
+}
+
+// TestSabotageRejectedByBoth: for every suite kernel, dropping any single
+// non-none sync site must be rejected by the independent certifier AND by
+// the optimizer's own Verify — two disjoint implementations agreeing the
+// schedule is unsound. The certifier's flows are computed once per kernel
+// and reused across all drops.
+func TestSabotageRejectedByBoth(t *testing.T) {
+	total, withWitness := 0, 0
+	for _, k := range suite.Kernels() {
+		c := compile(t, k.Source)
+		cs := core.ToCertify(c.Schedule)
+		an := certify.Analyze(c.Prog, cs, c.CertifyOptions())
+		if len(an.OracleErrs) != 0 {
+			t.Fatalf("%s: oracle disagreement: %v", k.Name, an.OracleErrs[0])
+		}
+		for id, kind := range cs.Kinds() {
+			if kind == certify.KindNone {
+				continue
+			}
+			total++
+			drop := cs.DropSite(id)
+			_, viols := an.Check(drop)
+			if len(viols) == 0 {
+				t.Errorf("%s: dropping site %d (%s) accepted by certifier", k.Name, id, kind)
+			} else {
+				has := false
+				for _, v := range viols {
+					if v.Witness != nil {
+						has = true
+					}
+				}
+				if !has {
+					t.Errorf("%s: dropping site %d (%s) rejected without a concrete witness:\n%s",
+						k.Name, id, kind, certify.RenderViolations(viols))
+				} else {
+					withWitness++
+				}
+			}
+			if errs := syncopt.Verify(c.Analyzer, dropSyncopt(c.Schedule, id)); len(errs) == 0 {
+				t.Errorf("%s: dropping site %d (%s) accepted by syncopt.Verify", k.Name, id, kind)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no sabotage variants exercised")
+	}
+	t.Logf("rejected %d/%d sabotaged schedules, %d with concrete witness", total, total, withWitness)
+}

@@ -1,0 +1,45 @@
+package certify_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestIndependenceFromOptimizer enforces the package's core guarantee by
+// construction: certify's non-test sources must not import the
+// communication analyzer or the synchronization optimizer, so its verdicts
+// cannot inherit their bugs.
+func TestIndependenceFromOptimizer(t *testing.T) {
+	banned := map[string]bool{
+		"repro/internal/comm":    true,
+		"repro/internal/syncopt": true,
+	}
+	files, err := filepath.Glob("*.go")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no sources found: %v", err)
+	}
+	fset := token.NewFileSet()
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		af, err := parser.ParseFile(fset, f, src, parser.ImportsOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range af.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if banned[path] {
+				t.Errorf("%s imports %s: the certifier must stay independent of the optimizer", f, path)
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package certify
+
+// The happens-before graph. For one flow we model two abstract processors
+// on separate lanes: P produces in group From, C consumes in group To.
+// Both lanes pass the same sequence of boundary occurrences (for a carried
+// flow the sequence wraps through the loop bottom into the next iteration).
+// Lane-internal edges are program order; a cross edge P@b -> C@b exists
+// exactly when the primitive at b orders this flow:
+//
+//   - a barrier orders everything (every worker arrives);
+//   - a counter is posted only by the workers of its own preceding group,
+//     so it orders the flow only at the flow's source boundary, where P is
+//     known to be a poster;
+//   - a neighbor sync is posted by every worker but waited directionally,
+//     so it orders only neighbor-class flows whose wait direction it
+//     includes (checked per direction variant).
+//
+// The flow is certified when P's start reaches C's end by BFS — and the
+// first cross edge on that path names the ordering primitive for the
+// certificate.
+
+// crossing is one boundary occurrence along a flow's path.
+type crossing struct {
+	boundary int // index into Region.After
+	atSource bool
+	iter     int // 0 = producing iteration, 1 = consuming iteration
+}
+
+// variant is one pair-geometry of a flow that must be ordered.
+type variant int
+
+const (
+	// varLower: consumer one block above producer; C waits on its lower
+	// neighbor.
+	varLower variant = iota
+	// varUpper: consumer one block below producer; C waits on its upper
+	// neighbor.
+	varUpper
+	// varGeneral: arbitrary processor pair.
+	varGeneral
+)
+
+func (v variant) String() string {
+	switch v {
+	case varLower:
+		return "wait-lower"
+	case varUpper:
+		return "wait-upper"
+	default:
+		return "general"
+	}
+}
+
+// variantsOf lists the geometries a flow requires ordering for.
+func variantsOf(f *Flow) []variant {
+	if f.Class == FlowNeighbor {
+		var out []variant
+		if f.Lower {
+			out = append(out, varLower)
+		}
+		if f.Upper {
+			out = append(out, varUpper)
+		}
+		return out
+	}
+	return []variant{varGeneral}
+}
+
+// crossingsOf computes the boundary occurrences a flow crosses. A
+// loop-independent flow from group i to group j crosses boundaries i..j-1.
+// A carried flow crosses i..n-1 of the producing iteration (the last is
+// the loop bottom) and 0..j-1 of the consuming iteration.
+func crossingsOf(reg *Region, f *Flow) []crossing {
+	var out []crossing
+	n := len(reg.Groups)
+	if !f.Carried {
+		for b := f.From; b < f.To; b++ {
+			out = append(out, crossing{boundary: b, atSource: b == f.From})
+		}
+		return out
+	}
+	for b := f.From; b < n; b++ {
+		out = append(out, crossing{boundary: b, atSource: b == f.From})
+	}
+	for b := 0; b < f.To; b++ {
+		out = append(out, crossing{boundary: b, iter: 1})
+	}
+	return out
+}
+
+// crossEdge reports whether the primitive at boundary c orders flow f's
+// given variant.
+func crossEdge(b Boundary, c crossing, f *Flow, v variant) bool {
+	switch b.Kind {
+	case KindBarrier:
+		return true
+	case KindCounter:
+		return c.atSource
+	case KindNeighbor:
+		if f.Class != FlowNeighbor {
+			return false
+		}
+		switch v {
+		case varLower:
+			return b.WaitLower
+		case varUpper:
+			return b.WaitUpper
+		}
+	}
+	return false
+}
+
+// hbOrdered builds the two-lane graph for one flow variant and searches for
+// a path from P's start to C's end. On success it returns the crossing
+// whose primitive carried the path across lanes.
+func hbOrdered(reg *Region, crossings []crossing, f *Flow, v variant) (crossing, bool) {
+	m := len(crossings)
+	if m == 0 {
+		return crossing{}, false
+	}
+	// Node ids: 0 = P.start, 1..m = P@crossing[k-1], m+1..2m = C@crossing[k-m-1],
+	// 2m+1 = C.end.
+	pNode := func(k int) int { return 1 + k }
+	cNode := func(k int) int { return 1 + m + k }
+	end := 2*m + 1
+	adj := make([][]int, 2*m+2)
+	addEdge := func(a, b int) { adj[a] = append(adj[a], b) }
+	addEdge(0, pNode(0))
+	for k := 0; k < m-1; k++ {
+		addEdge(pNode(k), pNode(k+1))
+		addEdge(cNode(k), cNode(k+1))
+	}
+	addEdge(cNode(m-1), end)
+	crossAt := make([]bool, m)
+	for k, c := range crossings {
+		if crossEdge(reg.After[c.boundary], c, f, v) {
+			crossAt[k] = true
+			addEdge(pNode(k), cNode(k))
+		}
+	}
+	// BFS, remembering the first lane-crossing edge on the path.
+	type state struct {
+		node    int
+		crossed int // index of the crossing used, -1 if still on P's lane
+	}
+	seen := make([]bool, len(adj))
+	queue := []state{{node: 0, crossed: -1}}
+	seen[0] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.node == end {
+			return crossings[cur.crossed], true
+		}
+		for _, nxt := range adj[cur.node] {
+			if seen[nxt] {
+				continue
+			}
+			seen[nxt] = true
+			crossed := cur.crossed
+			if cur.node >= 1 && cur.node <= m && nxt == cur.node+m {
+				crossed = cur.node - 1
+			}
+			queue = append(queue, state{node: nxt, crossed: crossed})
+		}
+	}
+	return crossing{}, false
+}

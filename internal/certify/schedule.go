@@ -1,0 +1,141 @@
+// Package certify is an independent static certifier for synchronization
+// schedules. Given only the IR and a schedule (mirrored into this package's
+// own types), it rebuilds every cross-processor data flow from first
+// principles — fresh Fourier-Motzkin systems constructed directly on
+// internal/linear, cross-checked by bounded integer enumeration as a second
+// oracle — and certifies that a static happens-before graph over (group,
+// boundary, primitive) nodes orders each flow. It shares no code with
+// internal/comm and none of internal/syncopt's coverage logic, so a bug in
+// the optimizer's analysis and a bug here are independent events; the
+// schedule is accepted only when both agree it is sound.
+//
+// On success Certify emits a machine-readable JSON certificate; on failure
+// it reports each unordered flow with a concrete counterexample witness
+// (processor pair, iteration vector, array element) extracted by integer
+// enumeration from the flow's own feasibility system.
+package certify
+
+import "repro/internal/ir"
+
+// Kind is a boundary synchronization primitive, ordered by strength.
+type Kind int
+
+const (
+	KindNone Kind = iota
+	KindNeighbor
+	KindCounter
+	KindBarrier
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindNeighbor:
+		return "neighbor"
+	case KindCounter:
+		return "counter"
+	case KindBarrier:
+		return "barrier"
+	default:
+		return "Kind(?)"
+	}
+}
+
+// Boundary is the synchronization at one region boundary.
+type Boundary struct {
+	Kind Kind
+	// WaitLower/WaitUpper: for KindNeighbor, the directions a worker
+	// waits on (its rank-1 / rank+1 neighbor).
+	WaitLower, WaitUpper bool
+}
+
+// Region is one SPMD region: the program body (Loop == nil) or the body of
+// a sequential loop. After[i] is the boundary following Groups[i]; for a
+// loop region After[len-1] is the loop-bottom boundary between consecutive
+// iterations.
+type Region struct {
+	Loop   *ir.Loop
+	Groups [][]ir.Stmt
+	After  []Boundary
+}
+
+// Schedule is a whole-program schedule in certify's own vocabulary. It is
+// the certifier's only description of the optimizer's output; adapters
+// (e.g. internal/core) translate into it so this package never imports the
+// optimizer.
+type Schedule struct {
+	Top *Region
+	// Regions maps each nested sequential loop to its region.
+	Regions map[*ir.Loop]*Region
+}
+
+// Site identifies one region boundary by its global sync-site id (the same
+// 0-based numbering the executor uses for SabotageEdge minus one: each
+// region's boundaries in order, recursing into nested regions in group and
+// statement order, starting from the top region).
+type Site struct {
+	Region *Region
+	Index  int
+}
+
+// Sites returns every boundary in global site order.
+func (s *Schedule) Sites() []Site {
+	var out []Site
+	var walk func(r *Region)
+	walk = func(r *Region) {
+		for i := range r.After {
+			out = append(out, Site{Region: r, Index: i})
+		}
+		for _, g := range r.Groups {
+			for _, st := range g {
+				if l, ok := st.(*ir.Loop); ok {
+					if sub := s.Regions[l]; sub != nil {
+						walk(sub)
+					}
+				}
+			}
+		}
+	}
+	if s.Top != nil {
+		walk(s.Top)
+	}
+	return out
+}
+
+// Kinds returns the boundary kind at every site, indexed by site id.
+func (s *Schedule) Kinds() []Kind {
+	sites := s.Sites()
+	out := make([]Kind, len(sites))
+	for i, site := range sites {
+		out[i] = site.Region.After[site.Index].Kind
+	}
+	return out
+}
+
+// DropSite returns a copy of the schedule with the boundary at the given
+// 0-based site id demoted to KindNone — the static analogue of the
+// executor's SabotageEdge fault injection. Statement groups are shared
+// with the original; only region and boundary records are copied.
+func (s *Schedule) DropSite(id int) *Schedule {
+	clone := &Schedule{Regions: map[*ir.Loop]*Region{}}
+	remap := map[*Region]*Region{}
+	copyRegion := func(r *Region) *Region {
+		c := &Region{Loop: r.Loop, Groups: r.Groups,
+			After: append([]Boundary(nil), r.After...)}
+		remap[r] = c
+		return c
+	}
+	if s.Top != nil {
+		clone.Top = copyRegion(s.Top)
+	}
+	for l, r := range s.Regions {
+		clone.Regions[l] = copyRegion(r)
+	}
+	sites := s.Sites()
+	if id >= 0 && id < len(sites) {
+		c := remap[sites[id].Region]
+		c.After[sites[id].Index] = Boundary{Kind: KindNone}
+	}
+	return clone
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"repro/internal/certify"
+	"repro/internal/comm"
+	"repro/internal/ir"
+	"repro/internal/syncopt"
+)
+
+// ToCertify translates a syncopt schedule into the certifier's vocabulary.
+// The translation is the only coupling between the optimizer and the
+// certifier: certify never imports syncopt or comm, so this adapter lives
+// in core. Statement groups are shared (the certifier treats them as
+// read-only); boundary records are copied.
+func ToCertify(s *syncopt.Schedule) *certify.Schedule {
+	out := &certify.Schedule{Regions: map[*ir.Loop]*certify.Region{}}
+	conv := func(rs *syncopt.RegionSched) *certify.Region {
+		r := &certify.Region{Loop: rs.Loop}
+		for _, g := range rs.Groups {
+			r.Groups = append(r.Groups, g.Stmts)
+		}
+		for _, sy := range rs.After {
+			r.After = append(r.After, certify.Boundary{
+				Kind:      certifyKind(sy.Class),
+				WaitLower: sy.WaitLower,
+				WaitUpper: sy.WaitUpper,
+			})
+		}
+		return r
+	}
+	if s.Top != nil {
+		out.Top = conv(s.Top)
+	}
+	for l, rs := range s.Regions {
+		out.Regions[l] = conv(rs)
+	}
+	return out
+}
+
+func certifyKind(c comm.Class) certify.Kind {
+	switch c {
+	case comm.ClassBarrier:
+		return certify.KindBarrier
+	case comm.ClassCounter:
+		return certify.KindCounter
+	case comm.ClassNeighbor:
+		return certify.KindNeighbor
+	default:
+		return certify.KindNone
+	}
+}
+
+// CertifyOptions returns the certifier options matching this compilation.
+func (c *Compiled) CertifyOptions() certify.Options {
+	return certify.Options{Decomp: c.Options.Decomp, MinParam: c.Options.MinParam}
+}
+
+// Certify runs the independent static certifier over the optimized
+// schedule. It returns the certificate on success or the unordered flows
+// on failure; the error reports solver-oracle disagreements (in which case
+// neither result should be trusted).
+func (c *Compiled) Certify() (*certify.Certificate, []certify.Violation, error) {
+	return certify.Certify(c.Prog, ToCertify(c.Schedule), c.CertifyOptions())
+}

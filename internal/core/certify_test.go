@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/certify"
+	"repro/internal/core"
+)
+
+// TestCertifyFacade: the facade must certify its own optimized schedule
+// and the translated schedule must mirror the optimizer's structure.
+func TestCertifyFacade(t *testing.T) {
+	c, err := core.Compile(src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, viols, err := c.Certify()
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	if len(viols) != 0 {
+		t.Fatalf("rejected:\n%s", certify.RenderViolations(viols))
+	}
+	if cert.Program != c.Prog.Name {
+		t.Errorf("certificate program %q, want %q", cert.Program, c.Prog.Name)
+	}
+	cs := core.ToCertify(c.Schedule)
+	if len(cs.Top.Groups) != len(c.Schedule.Top.Groups) {
+		t.Errorf("translated top region has %d groups, optimizer has %d",
+			len(cs.Top.Groups), len(c.Schedule.Top.Groups))
+	}
+	if len(cs.Regions) != len(c.Schedule.Regions) {
+		t.Errorf("translated %d loop regions, optimizer has %d",
+			len(cs.Regions), len(c.Schedule.Regions))
+	}
+}
+
+// TestCompileLintOption: Options.Lint gates compilation on a clean lint
+// run and surfaces the findings as a typed error.
+func TestCompileLintOption(t *testing.T) {
+	if _, err := core.Compile(src, core.Options{Lint: true}); err != nil {
+		t.Fatalf("clean program rejected by lint gate: %v", err)
+	}
+	bad := `
+program deadstore
+param N
+real A(N), t
+t = 1.0
+t = 2.0
+do i = 1, N
+  A(i) = t
+end do
+end
+`
+	_, err := core.Compile(bad, core.Options{Lint: true})
+	var le *core.LintError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *core.LintError", err)
+	}
+	if len(le.Diags) == 0 || !strings.Contains(le.Error(), "dead-store") {
+		t.Errorf("lint error lacks the dead-store finding: %v", le)
+	}
+}

@@ -14,12 +14,15 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/comm"
 	"repro/internal/decomp"
 	"repro/internal/deps"
 	"repro/internal/exec"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/lint"
 	"repro/internal/parallel"
 	"repro/internal/parser"
 	"repro/internal/region"
@@ -35,11 +38,33 @@ type Options struct {
 	// MinParam is the assumed lower bound of every symbolic parameter
 	// (default 1). Larger values can sharpen the analysis.
 	MinParam int64
+	// Lint runs the source-level linter before compiling; Compile then
+	// fails with a *LintError when any warning-or-worse finding exists.
+	Lint bool
+}
+
+// LintError reports lint findings that aborted a compilation.
+type LintError struct {
+	Diags []lint.Diagnostic
+}
+
+func (e *LintError) Error() string {
+	first := e.Diags[0]
+	for _, d := range e.Diags {
+		if d.Severity >= lint.SevWarning {
+			first = d
+			break
+		}
+	}
+	return fmt.Sprintf("lint: %d findings, first: %s", len(e.Diags), first.Format("src"))
 }
 
 // Compiled is the result of running the pipeline on one program.
 type Compiled struct {
 	Prog *ir.Program
+	// Options are the pipeline options the program was compiled with
+	// (MinParam resolved to its default when unset).
+	Options Options
 	// Parallelized reports what the parallelizer did.
 	Parallelized *parallel.Result
 	// Plan is the computation partition of every parallel loop.
@@ -55,6 +80,11 @@ type Compiled struct {
 
 // Compile parses DSL source and runs the full pipeline.
 func Compile(src string, opt Options) (*Compiled, error) {
+	if opt.Lint {
+		if diags := lint.Source(src); lint.HasFindings(diags) {
+			return nil, &LintError{Diags: diags}
+		}
+	}
 	prog, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
@@ -74,8 +104,10 @@ func CompileProgram(prog *ir.Program, opt Options) *Compiled {
 	plan := decomp.Build(prog, opt.Decomp)
 	info := region.Classify(prog, plan.Wavefront)
 	an := comm.New(ctx, plan, info)
+	opt.MinParam = minParam
 	return &Compiled{
 		Prog:         prog,
+		Options:      opt,
 		Parallelized: par,
 		Plan:         plan,
 		Analyzer:     an,

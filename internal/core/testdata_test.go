@@ -12,7 +12,9 @@ import (
 )
 
 // TestCorpus compiles every DSL file in testdata/: files prefixed bad_
-// must fail with a diagnostic; every other file must compile, verify its
+// must fail with a diagnostic; files prefixed lint_ are negative lint
+// fixtures (valid programs with deliberate defects, exercised by the lint
+// golden tests) and are skipped; every other file must compile, verify its
 // schedule, and execute correctly in all three modes.
 func TestCorpus(t *testing.T) {
 	files, err := filepath.Glob("../../testdata/*.dsl")
@@ -22,6 +24,9 @@ func TestCorpus(t *testing.T) {
 	params := map[string]int64{"N": 24, "M": 10, "T": 3}
 	for _, f := range files {
 		f := f
+		if strings.HasPrefix(filepath.Base(f), "lint_") {
+			continue
+		}
 		t.Run(filepath.Base(f), func(t *testing.T) {
 			src, err := os.ReadFile(f)
 			if err != nil {

@@ -12,8 +12,8 @@ import (
 	"repro/internal/region"
 	"repro/internal/sanitize"
 	"repro/internal/spmdrt"
-	"repro/internal/synctrace"
 	"repro/internal/syncopt"
+	"repro/internal/synctrace"
 )
 
 // Mode selects the execution model.

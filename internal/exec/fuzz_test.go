@@ -5,7 +5,9 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/syncopt"
@@ -163,6 +165,28 @@ func TestFuzzPipelineEquivalence(t *testing.T) {
 			t.Fatalf("seed %d: schedule verification: %v\n--- source ---\n%s\n--- schedule ---\n%s",
 				seed, errs[0], src, c.Schedule.Dump())
 		}
+		// Independent static certification: the clean-room certifier must
+		// agree the schedule is sound, and must reject every single-edge
+		// sabotage of it.
+		cs := core.ToCertify(c.Schedule)
+		an := certify.Analyze(c.Prog, cs, c.CertifyOptions())
+		if len(an.OracleErrs) > 0 {
+			t.Fatalf("seed %d: solver oracle disagreement: %v\n--- source ---\n%s",
+				seed, an.OracleErrs[0], src)
+		}
+		if _, viols := an.Check(cs); len(viols) > 0 {
+			t.Fatalf("seed %d: certifier rejected the verified schedule:\n%s--- source ---\n%s\n--- schedule ---\n%s",
+				seed, certify.RenderViolations(viols), src, c.Schedule.Dump())
+		}
+		for id, kind := range cs.Kinds() {
+			if kind == certify.KindNone {
+				continue
+			}
+			if _, viols := an.Check(cs.DropSite(id)); len(viols) == 0 {
+				t.Fatalf("seed %d: dropping sync site %d (%s) still certifies\n--- source ---\n%s\n--- schedule ---\n%s",
+					seed, id, kind, src, c.Schedule.Dump())
+			}
+		}
 		params := map[string]int64{"N": int64(16 + g.rng.Intn(40)), "T": int64(1 + g.rng.Intn(4))}
 		ref, err := c.RunSequential(params)
 		if err != nil {
@@ -212,4 +236,75 @@ func TestFuzzPipelineEquivalence(t *testing.T) {
 				seed, res.Sanitizer, src, c.Schedule.Dump())
 		}
 	}
+}
+
+// TestFuzzSabotageStaticDynamicAgreement cross-validates the static
+// certifier against the dynamic sanitizer on sabotaged schedules of random
+// programs: every single dropped sync edge must be rejected statically,
+// and whenever the runtime (sanitizer, state divergence, or deadlock
+// watchdog) catches the same drop, that dynamic evidence must never
+// contradict a static acceptance. Dynamic detection is timing-sensitive so
+// it need not fire on every site, but it must fire somewhere.
+func TestFuzzSabotageStaticDynamicAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz loop skipped in -short mode")
+	}
+	var g progGen
+	edges, dynCaught := 0, 0
+	for seed := int64(1); seed <= 10; seed++ {
+		g.hasRed = false
+		src, tol := g.generate(seed)
+		if tol == 0 {
+			tol = 1e-12
+		}
+		c, err := core.Compile(src, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: compile error: %v", seed, err)
+		}
+		cs := core.ToCertify(c.Schedule)
+		an := certify.Analyze(c.Prog, cs, c.CertifyOptions())
+		params := map[string]int64{"N": int64(16 + g.rng.Intn(16)), "T": 2}
+		ref, err := c.RunSequential(params)
+		if err != nil {
+			t.Fatalf("seed %d: sequential: %v", seed, err)
+		}
+		for id, kind := range cs.Kinds() {
+			if kind == certify.KindNone {
+				continue
+			}
+			edges++
+			_, viols := an.Check(cs.DropSite(id))
+			staticReject := len(viols) > 0
+			if !staticReject {
+				t.Errorf("seed %d: site %d (%s) drop accepted statically\n--- source ---\n%s",
+					seed, id, kind, src)
+			}
+			r, err := c.NewRunner(exec.Config{
+				Workers: 4, Params: params, Mode: exec.SPMD,
+				SabotageEdge: id + 1, Sanitize: true,
+				ChaosSeed:       seed*2654435761 + int64(id),
+				WatchdogTimeout: 60 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: runner: %v", seed, err)
+			}
+			res, err := r.Run()
+			dynamic := err != nil || // deadlock/watchdog abort
+				!res.Sanitizer.Clean() ||
+				exec.ComparableDiff(ref, res.State, c.Prog) > tol
+			if dynamic {
+				dynCaught++
+				if !staticReject {
+					t.Errorf("seed %d: site %d caught dynamically but accepted statically", seed, id)
+				}
+			}
+		}
+	}
+	if edges == 0 {
+		t.Fatal("fuzz programs scheduled no sync edges")
+	}
+	if dynCaught == 0 {
+		t.Errorf("dynamic checks caught none of %d dropped edges", edges)
+	}
+	t.Logf("static rejected %d/%d dropped edges; dynamic corroborated %d", edges, edges, dynCaught)
 }

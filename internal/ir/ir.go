@@ -30,13 +30,21 @@ type Program struct {
 	// Scalars are the declared float64 scalar variables.
 	Scalars []string
 	Body    []Stmt
+	// DeclPos records the source position of each declared name (params,
+	// arrays, scalars). Programs built programmatically may leave it nil;
+	// diagnostics then fall back to the zero position.
+	DeclPos map[string]Pos
 }
+
+// PosOf returns the declaration position of name (zero Pos if unknown).
+func (p *Program) PosOf(name string) Pos { return p.DeclPos[name] }
 
 // ArrayDecl declares a float64 array with affine extents. Element indices
 // are 1-based (Fortran convention), so A(N) has valid subscripts 1..N.
 type ArrayDecl struct {
 	Name string
 	Dims []Expr // extents; must be affine in Params
+	P    Pos
 }
 
 // Rank returns the number of dimensions.

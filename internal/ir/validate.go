@@ -37,10 +37,14 @@ func Validate(p *Program) []error {
 		kind[name] = k
 	}
 	for _, s := range p.Params {
-		declare(s, "param", Pos{})
+		declare(s, "param", p.PosOf(s))
 	}
 	for _, a := range p.Arrays {
-		declare(a.Name, "array", Pos{})
+		pos := a.P
+		if pos.Line == 0 {
+			pos = p.PosOf(a.Name)
+		}
+		declare(a.Name, "array", pos)
 		env := NewAffineEnv(p)
 		for d, dim := range a.Dims {
 			if _, ok := env.Affine(dim); !ok {
@@ -49,11 +53,11 @@ func Validate(p *Program) []error {
 			}
 		}
 		if len(a.Dims) == 0 {
-			bad(Pos{}, "array %s has no dimensions", a.Name)
+			bad(pos, "array %s has no dimensions", a.Name)
 		}
 	}
 	for _, s := range p.Scalars {
-		declare(s, "scalar", Pos{})
+		declare(s, "scalar", p.PosOf(s))
 	}
 
 	arity := map[string]int{}

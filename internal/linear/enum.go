@@ -1,0 +1,217 @@
+package linear
+
+// Bounded integer enumeration: an exhaustive search for integer solutions
+// of a System inside a finite box. It is deliberately independent of the
+// Fourier-Motzkin machinery in fm.go — no shared elimination or
+// normalization code — so the two can serve as mutual oracles: FM decides
+// symbolically, enumeration decides by brute force on small instances, and
+// a disagreement (FM says infeasible, enumeration finds a point) is a
+// solver bug, not an analysis imprecision.
+//
+// The search assigns variables in scan order (symbolics, processors, loop
+// indices, array indices), which matches how systems are built here: outer
+// quantities (parameters, block sizes) bound inner ones (loop and array
+// indices), so interval propagation from already-assigned variables prunes
+// the walk to near-linear cost on typical loop-nest systems.
+
+// EnumResult is the outcome of a bounded enumeration.
+type EnumResult int
+
+const (
+	// EnumNoPoint: the box was searched exhaustively and holds no
+	// integer solution.
+	EnumNoPoint EnumResult = iota
+	// EnumPoint: a satisfying integer assignment was found.
+	EnumPoint
+	// EnumBudget: the node budget ran out before the box was covered;
+	// the result is unusable as evidence.
+	EnumBudget
+)
+
+func (r EnumResult) String() string {
+	switch r {
+	case EnumNoPoint:
+		return "no-point"
+	case EnumPoint:
+		return "point"
+	case EnumBudget:
+		return "budget-exhausted"
+	default:
+		return "EnumResult(?)"
+	}
+}
+
+// EnumOptions shape the search box.
+type EnumOptions struct {
+	// Range gives an explicit inclusive search range for a variable.
+	// Variables without an entry fall back to intervals derived from the
+	// system's own constraints, then to [FallbackLo, FallbackHi].
+	Range map[Var][2]int64
+	// FallbackLo/Hi bound variables the constraints leave open in one or
+	// both directions (both zero selects [-8, 32]).
+	FallbackLo, FallbackHi int64
+	// Budget caps the number of search nodes (0 selects 200000).
+	Budget int
+}
+
+const (
+	defaultEnumBudget = 200000
+	defaultFallbackLo = -8
+	defaultFallbackHi = 32
+)
+
+// Enumerate searches the box for an integer point satisfying every
+// constraint of s. On EnumPoint the returned assignment covers every
+// variable of s.
+func (s *System) Enumerate(opts EnumOptions) (map[Var]int64, EnumResult) {
+	if opts.Budget <= 0 {
+		opts.Budget = defaultEnumBudget
+	}
+	if opts.FallbackLo == 0 && opts.FallbackHi == 0 {
+		opts.FallbackLo, opts.FallbackHi = defaultFallbackLo, defaultFallbackHi
+	}
+	e := &enumerator{sys: s, opts: opts, vars: s.Vars(), env: map[Var]int64{}, budget: opts.Budget}
+	if len(e.vars) == 0 {
+		if s.Holds(e.env) {
+			return map[Var]int64{}, EnumPoint
+		}
+		return nil, EnumNoPoint
+	}
+	switch e.search(0) {
+	case searchFound:
+		return e.env, EnumPoint
+	case searchBudget:
+		return nil, EnumBudget
+	default:
+		return nil, EnumNoPoint
+	}
+}
+
+type searchOutcome int
+
+const (
+	searchExhausted searchOutcome = iota
+	searchFound
+	searchBudget
+)
+
+type enumerator struct {
+	sys    *System
+	opts   EnumOptions
+	vars   []Var
+	env    map[Var]int64
+	budget int
+}
+
+// search assigns vars[i..] depth-first. The candidate interval for vars[i]
+// intersects the explicit range (if any) with every constraint in which
+// vars[i] is the only yet-unassigned variable.
+func (e *enumerator) search(i int) searchOutcome {
+	if i == len(e.vars) {
+		if e.fullySatisfied() {
+			return searchFound
+		}
+		return searchExhausted
+	}
+	v := e.vars[i]
+	lo, hi, ok := e.interval(v, i)
+	if !ok {
+		return searchExhausted
+	}
+	for x := lo; x <= hi; x++ {
+		e.budget--
+		if e.budget < 0 {
+			return searchBudget
+		}
+		e.env[v] = x
+		if !e.prefixConsistent(i) {
+			continue
+		}
+		if out := e.search(i + 1); out != searchExhausted {
+			return out
+		}
+	}
+	delete(e.env, v)
+	return searchExhausted
+}
+
+// interval derives the inclusive candidate range for v given that
+// vars[0..i-1] are assigned. ok is false when the range is provably empty.
+func (e *enumerator) interval(v Var, i int) (lo, hi int64, ok bool) {
+	lo, hi = e.opts.FallbackLo, e.opts.FallbackHi
+	boundedLo, boundedHi := false, false
+	if r, has := e.opts.Range[v]; has {
+		lo, hi = r[0], r[1]
+		boundedLo, boundedHi = true, true
+	}
+	assigned := func(u Var) bool {
+		_, done := e.env[u]
+		return done
+	}
+	for _, c := range e.sys.Cons {
+		k := c.Expr.Coeff(v)
+		if k == 0 {
+			continue
+		}
+		// Usable only when every other variable is already assigned.
+		rest := c.Expr.Const
+		usable := true
+		for _, u := range c.Expr.Vars() {
+			if u == v {
+				continue
+			}
+			if !assigned(u) {
+				usable = false
+				break
+			}
+			rest += c.Expr.Coeff(u) * e.env[u]
+		}
+		if !usable {
+			continue
+		}
+		// Constraint: k*v + rest >= 0 (and <= 0 too for equalities).
+		apply := func(k, rest int64) {
+			if k > 0 {
+				// v >= ceil(-rest/k)
+				b := -floorDiv(rest, k)
+				if !boundedLo || b > lo {
+					lo, boundedLo = b, true
+				}
+			} else {
+				// v <= floor(rest/-k)
+				b := floorDiv(rest, -k)
+				if !boundedHi || b < hi {
+					hi, boundedHi = b, true
+				}
+			}
+		}
+		apply(k, rest)
+		if c.Op == OpEQ {
+			apply(-k, -rest)
+		}
+	}
+	if lo > hi {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// prefixConsistent checks every constraint whose variables are all assigned
+// after vars[i] received its value.
+func (e *enumerator) prefixConsistent(i int) bool {
+	for _, c := range e.sys.Cons {
+		all := true
+		for _, u := range c.Expr.Vars() {
+			if _, done := e.env[u]; !done {
+				all = false
+				break
+			}
+		}
+		if all && !c.Holds(e.env) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *enumerator) fullySatisfied() bool { return e.sys.Holds(e.env) }

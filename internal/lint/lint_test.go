@@ -1,0 +1,174 @@
+package lint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/suite"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func readFixture(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestGoldenFixtures asserts the rendered diagnostics for the negative
+// fixtures byte-for-byte against their golden files.
+func TestGoldenFixtures(t *testing.T) {
+	for _, f := range []string{"lint_oob", "lint_uninit", "lint_dead"} {
+		t.Run(f, func(t *testing.T) {
+			src := readFixture(t, f+".dsl")
+			got := lint.Render(f+".dsl", lint.Source(src))
+			goldenPath := filepath.Join("..", "..", "testdata", f+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from golden\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestFixturesHaveFindings: every negative fixture must trip the exit-code
+// convention (at least one warning or error).
+func TestFixturesHaveFindings(t *testing.T) {
+	for _, f := range []string{"lint_oob.dsl", "lint_uninit.dsl", "lint_dead.dsl",
+		"bad_syntax.dsl", "bad_semantics.dsl"} {
+		if !lint.HasFindings(lint.Source(readFixture(t, f))) {
+			t.Errorf("%s: expected findings, got none", f)
+		}
+	}
+}
+
+// TestSuiteKernelsClean: the 16 suite kernels may produce informational
+// notes but no warnings or errors — they must lint with exit code 0.
+func TestSuiteKernelsClean(t *testing.T) {
+	for _, k := range suite.Kernels() {
+		diags := lint.Source(k.Source)
+		if lint.HasFindings(diags) {
+			t.Errorf("kernel %s has lint findings:\n%s", k.Name, lint.Render(k.Name, diags))
+		}
+	}
+}
+
+// TestGoodTestdataClean: the positive DSL fixtures lint clean.
+func TestGoodTestdataClean(t *testing.T) {
+	for _, f := range []string{"heat1d.dsl", "sweep.dsl", "blocked_smooth.dsl"} {
+		diags := lint.Source(readFixture(t, f))
+		if lint.HasFindings(diags) {
+			t.Errorf("%s has lint findings:\n%s", f, lint.Render(f, diags))
+		}
+	}
+}
+
+// TestSyntaxAndSemanticsDiags: parse and validation failures surface as
+// positioned error diagnostics, not Go errors.
+func TestSyntaxAndSemanticsDiags(t *testing.T) {
+	cases := []struct {
+		file, rule string
+	}{
+		{"bad_syntax.dsl", "syntax"},
+		{"bad_semantics.dsl", "semantics"},
+	}
+	for _, tc := range cases {
+		diags := lint.Source(readFixture(t, tc.file))
+		if len(diags) == 0 {
+			t.Errorf("%s: no diagnostics", tc.file)
+			continue
+		}
+		for _, d := range diags {
+			if d.Severity != lint.SevError {
+				t.Errorf("%s: severity %v, want error", tc.file, d.Severity)
+			}
+			if d.Rule != tc.rule {
+				t.Errorf("%s: rule %q, want %q", tc.file, d.Rule, tc.rule)
+			}
+			if d.P.Line == 0 {
+				t.Errorf("%s: diagnostic %q has no source position", tc.file, d.Msg)
+			}
+		}
+	}
+}
+
+// TestAllDiagnosticsPositioned: every diagnostic across all fixtures
+// carries a source position.
+func TestAllDiagnosticsPositioned(t *testing.T) {
+	files := []string{"lint_oob.dsl", "lint_uninit.dsl", "lint_dead.dsl",
+		"heat1d.dsl", "sweep.dsl", "blocked_smooth.dsl"}
+	for _, f := range files {
+		for _, d := range lint.Source(readFixture(t, f)) {
+			if d.P.Line == 0 {
+				t.Errorf("%s: diagnostic %q [%s] has no position", f, d.Msg, d.Rule)
+			}
+		}
+	}
+	for _, k := range suite.Kernels() {
+		for _, d := range lint.Source(k.Source) {
+			if d.P.Line == 0 {
+				t.Errorf("kernel %s: diagnostic %q [%s] has no position", k.Name, d.Msg, d.Rule)
+			}
+		}
+	}
+}
+
+// TestGuardPrecision: an access provably safe only because of its guard
+// must not be flagged (FM must use the guard constraints).
+func TestGuardPrecision(t *testing.T) {
+	src := `
+program guarded
+param N
+real A(N)
+do i = 1, N
+  if i >= 2 then
+    A(i - 1) = A(i)
+  end if
+end do
+end
+`
+	for _, d := range lint.Source(src) {
+		if d.Rule == "out-of-bounds" {
+			t.Errorf("guarded access flagged: %s", d.Msg)
+		}
+	}
+}
+
+// TestElseBranchNegation: the else branch of a single-comparison guard
+// carries the negated constraint, so an access safe only there is clean
+// and an access unsafe only there is flagged.
+func TestElseBranchNegation(t *testing.T) {
+	src := `
+program elseneg
+param N
+real A(N)
+do i = 1, N
+  if i <= 1 then
+    A(i) = 0.0
+  else
+    A(i - 1) = 1.0
+  end if
+end do
+end
+`
+	for _, d := range lint.Source(src) {
+		if d.Rule == "out-of-bounds" {
+			t.Errorf("else-branch access flagged despite negated guard: %s", d.Msg)
+		}
+	}
+}

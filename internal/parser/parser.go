@@ -10,11 +10,7 @@ import (
 // Parse parses DSL source into a validated ir.Program. The first lexical,
 // syntactic or semantic error is returned with its source position.
 func Parse(src string) (*ir.Program, error) {
-	p := &parser{lx: newLexer(src), procs: map[string]*proc{}}
-	if err := p.prime(); err != nil {
-		return nil, err
-	}
-	prog, err := p.parseProgram()
+	prog, err := ParseNoValidate(src)
 	if err != nil {
 		return nil, err
 	}
@@ -26,6 +22,17 @@ func Parse(src string) (*ir.Program, error) {
 		return nil, fmt.Errorf("%s", strings.Join(msgs, "\n"))
 	}
 	return prog, nil
+}
+
+// ParseNoValidate parses DSL source without running ir.Validate, so
+// diagnostics passes (internal/lint) can report every semantic problem as a
+// structured finding instead of receiving one flattened error.
+func ParseNoValidate(src string) (*ir.Program, error) {
+	p := &parser{lx: newLexer(src), procs: map[string]*proc{}}
+	if err := p.prime(); err != nil {
+		return nil, err
+	}
+	return p.parseProgram()
 }
 
 // MustParse parses src and panics on error; intended for tests and the
@@ -118,7 +125,13 @@ func (p *parser) parseProgram() (*ir.Program, error) {
 	if p.tok.kind != tokIdent {
 		return nil, p.errorf("expected program name, found %s", p.describe())
 	}
-	prog := &ir.Program{Name: p.tok.text}
+	prog := &ir.Program{Name: p.tok.text, DeclPos: map[string]ir.Pos{}}
+	declare := func(name string, pos ir.Pos) {
+		// First declaration wins; Validate reports the duplicate.
+		if _, dup := prog.DeclPos[name]; !dup {
+			prog.DeclPos[name] = pos
+		}
+	}
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
@@ -138,6 +151,7 @@ func (p *parser) parseProgram() (*ir.Program, error) {
 					return nil, p.errorf("expected parameter name, found %s", p.describe())
 				}
 				prog.Params = append(prog.Params, p.tok.text)
+				declare(p.tok.text, p.tok.pos)
 				if err := p.advance(); err != nil {
 					return nil, err
 				}
@@ -160,6 +174,7 @@ func (p *parser) parseProgram() (*ir.Program, error) {
 					return nil, p.errorf("expected declaration name, found %s", p.describe())
 				}
 				name := p.tok.text
+				namePos := p.tok.pos
 				if err := p.advance(); err != nil {
 					return nil, err
 				}
@@ -168,10 +183,11 @@ func (p *parser) parseProgram() (*ir.Program, error) {
 					if err != nil {
 						return nil, err
 					}
-					prog.Arrays = append(prog.Arrays, &ir.ArrayDecl{Name: name, Dims: dims})
+					prog.Arrays = append(prog.Arrays, &ir.ArrayDecl{Name: name, Dims: dims, P: namePos})
 				} else {
 					prog.Scalars = append(prog.Scalars, name)
 				}
+				declare(name, namePos)
 				if p.tok.kind != tokComma {
 					break
 				}

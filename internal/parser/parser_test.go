@@ -271,3 +271,88 @@ func TestKeywordCaseInsensitive(t *testing.T) {
 		t.Error("PARALLEL DO not recognized")
 	}
 }
+
+// TestGuardedBodyPositions pins the source positions of statements nested
+// inside IF bodies (both arms, including a nested conditional): diagnostics
+// from the lint and certify passes anchor on these positions, so a
+// statement inside a guard must not inherit the guard's own position.
+func TestGuardedBodyPositions(t *testing.T) {
+	src := `program x
+param N
+real A(N), s
+do i = 2, N - 1
+  if i == 2 then
+    A(i) = 1.0
+    if i > 1 then
+      s = 2.0
+    end if
+  else
+    A(i) = 3.0
+  end if
+end do
+end
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := prog.Body[0].(*ir.Loop)
+	guard := loop.Body[0].(*ir.If)
+	if guard.Pos() != (ir.Pos{Line: 5, Col: 3}) {
+		t.Errorf("if position = %v, want 5:3", guard.Pos())
+	}
+	thenAssign := guard.Then[0].(*ir.Assign)
+	if thenAssign.Pos() != (ir.Pos{Line: 6, Col: 5}) {
+		t.Errorf("then-arm assign position = %v, want 6:5", thenAssign.Pos())
+	}
+	nested := guard.Then[1].(*ir.If)
+	if nested.Pos() != (ir.Pos{Line: 7, Col: 5}) {
+		t.Errorf("nested if position = %v, want 7:5", nested.Pos())
+	}
+	nestedAssign := nested.Then[0].(*ir.Assign)
+	if nestedAssign.Pos() != (ir.Pos{Line: 8, Col: 7}) {
+		t.Errorf("nested then assign position = %v, want 8:7", nestedAssign.Pos())
+	}
+	elseAssign := guard.Else[0].(*ir.Assign)
+	if elseAssign.Pos() != (ir.Pos{Line: 11, Col: 5}) {
+		t.Errorf("else-arm assign position = %v, want 11:5", elseAssign.Pos())
+	}
+	// The else-arm reference keeps its own expression position too.
+	if p := elseAssign.LHS.Pos(); p != (ir.Pos{Line: 11, Col: 5}) {
+		t.Errorf("else-arm LHS position = %v, want 11:5", p)
+	}
+}
+
+// TestDeclarationPositions pins DeclPos for params, arrays and scalars; the
+// unused-declaration lint and redeclaration validation anchor on them.
+func TestDeclarationPositions(t *testing.T) {
+	src := `program x
+param N, T
+real A(N, N), s, B(N)
+end
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]ir.Pos{
+		"N": {Line: 2, Col: 7},
+		"T": {Line: 2, Col: 10},
+		"A": {Line: 3, Col: 6},
+		"s": {Line: 3, Col: 15},
+		"B": {Line: 3, Col: 18},
+	}
+	for name, wp := range want {
+		if got := prog.PosOf(name); got != wp {
+			t.Errorf("PosOf(%s) = %v, want %v", name, got, wp)
+		}
+	}
+	if prog.Arrays[0].P != (ir.Pos{Line: 3, Col: 6}) {
+		t.Errorf("ArrayDecl A position = %v, want 3:6", prog.Arrays[0].P)
+	}
+	// A redeclaration diagnostic must point at the duplicate's position.
+	_, err = Parse("program x\nparam N\nreal A(N)\nreal A(N)\nend\n")
+	if err == nil || !strings.HasPrefix(err.Error(), "4:6:") {
+		t.Errorf("redeclaration error %q should carry position 4:6", err)
+	}
+}

@@ -10,8 +10,8 @@ import (
 	"repro/internal/ir"
 	"repro/internal/region"
 	"repro/internal/spmdrt"
-	"repro/internal/synctrace"
 	"repro/internal/syncopt"
+	"repro/internal/synctrace"
 )
 
 // Metrics holds everything the tables need for one kernel.

@@ -1,10 +1,19 @@
 #!/usr/bin/env bash
-# Full correctness battery: vet, build, race-detector tests, a
+# Full correctness battery: formatting, vet, build, race-detector tests,
+# DSL lint and independent schedule-certification smokes, a
 # chaos + sanitizer + watchdog smoke of representative suite kernels,
 # trace-export and Table W smokes, and the tracing overhead guard.
 # Run from anywhere; operates on the repository containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "ERROR: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -14,6 +23,57 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+barrierc="$(mktemp -t barrierc.XXXXXX)"
+trap 'rm -f "$barrierc" "${trace_tmp:-}"' EXIT
+go build -o "$barrierc" ./cmd/barrierc
+
+echo "== lint smoke (barrierc -lint) =="
+# Exit-code contract: 0 clean (informational notes allowed), 1 findings,
+# 2 internal error. Every suite kernel and positive fixture must be clean;
+# every negative fixture must exit 1; a missing file must exit 2.
+"$barrierc" -list | while read -r k _; do
+    "$barrierc" -lint -kernel "$k" >/dev/null || {
+        echo "ERROR: suite kernel $k has lint findings" >&2
+        exit 1
+    }
+done
+for f in testdata/heat1d.dsl testdata/sweep.dsl testdata/blocked_smooth.dsl; do
+    "$barrierc" -lint "$f" >/dev/null || {
+        echo "ERROR: $f has lint findings" >&2
+        exit 1
+    }
+done
+for f in testdata/lint_oob.dsl testdata/lint_uninit.dsl testdata/lint_dead.dsl \
+         testdata/bad_syntax.dsl testdata/bad_semantics.dsl; do
+    rc=0; "$barrierc" -lint "$f" >/dev/null || rc=$?
+    if [ "$rc" -ne 1 ]; then
+        echo "ERROR: $f: lint exit $rc, want 1" >&2
+        exit 1
+    fi
+done
+rc=0; "$barrierc" -lint /nonexistent.dsl >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 2 ]; then
+    echo "ERROR: missing-file lint exit $rc, want 2" >&2
+    exit 1
+fi
+echo "-- lint exit codes verified (suite clean, fixtures exit 1, internal error exit 2)"
+
+echo "== certify sweep (barrierc -certify) =="
+# Every suite kernel's optimized schedule must pass the independent static
+# certifier; a sabotaged schedule must be rejected with exit 1.
+"$barrierc" -list | while read -r k _; do
+    "$barrierc" -certify -kernel "$k" >/dev/null || {
+        echo "ERROR: kernel $k failed certification" >&2
+        exit 1
+    }
+done
+rc=0; "$barrierc" -certify -kernel jacobi1d -sabotage 2 >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "ERROR: sabotaged jacobi1d certify exit $rc, want 1" >&2
+    exit 1
+fi
+echo "-- all suite kernels certified; sabotaged schedule rejected"
 
 echo "== chaos + sanitizer smoke (spmdrun) =="
 # Small inputs: chaos adds microsecond delays around every sync, and the
@@ -34,7 +94,6 @@ echo "== trace smoke (spmdrun -trace) =="
 # The Chrome trace export must be valid JSON with per-worker tracks; the
 # schema proper is pinned by TestTraceChromeSchema, this is the CLI path.
 trace_tmp="$(mktemp -t spmdtrace.XXXXXX.json)"
-trap 'rm -f "$trace_tmp"' EXIT
 go run ./cmd/spmdrun -kernel jacobi2d -p 8 -param N=64 -param T=4 \
     -trace "$trace_tmp" -trace-summary >/dev/null 2>&1
 if command -v python3 >/dev/null 2>&1; then

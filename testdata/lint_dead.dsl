@@ -1,0 +1,13 @@
+# Dead-store fixture: the first assignment to t is overwritten before
+# being read; u is assigned but never read; Z is declared and never used.
+program lintdead
+param N
+real A(N), Z(N)
+real t, u
+t = 1.0
+t = 2.0
+do i = 1, N
+  A(i) = t
+end do
+u = 3.0
+end

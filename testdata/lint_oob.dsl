@@ -1,0 +1,15 @@
+# Out-of-bounds fixture: the first loop under-runs A at i = 1 and
+# over-runs it at i = N; the guarded loop shows FM using the guard to
+# prove the same offsets safe.
+program lintoob
+param N
+real A(N), B(N)
+do i = 1, N
+  A(i) = B(i - 1) + B(i + 1)
+end do
+do i = 1, N
+  if i >= 2 .and. i <= N - 1 then
+    B(i) = A(i - 1) + A(i + 1)
+  end if
+end do
+end

@@ -1,0 +1,10 @@
+# Uninitialized-read fixture: scalar s is read but never assigned, and
+# array X is read but never written (reported as an assumed input).
+program lintuninit
+param N
+real X(N), Y(N)
+real s
+do i = 1, N
+  Y(i) = X(i) * s
+end do
+end
