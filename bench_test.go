@@ -72,7 +72,7 @@ func benchKernel(b *testing.B, name string, workers int, optimized bool) {
 		b.Fatal(err)
 	}
 	cfg := exec.Config{Workers: workers, Params: k.Params}
-	var runner *exec.Runner
+	var runner *core.Runner
 	if optimized {
 		cfg.Mode = exec.SPMD
 		runner, err = c.NewRunner(cfg)

@@ -15,14 +15,15 @@
 // diagnostics are printed go-vet style; the exit status is 0 when the
 // program is clean (informational notes allowed), 1 when any warning or
 // error was found, and 2 on an internal error. With -certify the optimized
-// schedule is re-checked by the independent static certifier and the JSON
-// certificate is printed; -sabotage N demotes sync site N (1-based, the
-// executor's SabotageEdge numbering) first, and -witness renders a
-// rejection as JSON including the concrete counterexample witnesses.
+// schedule is re-checked by the independent static certifier and the
+// certificate is printed as a versioned JSON envelope (schema_version,
+// tool "barrierc-certify", payload); -sabotage N demotes sync site N
+// (1-based, the executor's SabotageEdge numbering) first, and -witness
+// renders a rejection in the same envelope including the concrete
+// counterexample witnesses.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/decomp"
+	"repro/internal/envelope"
 	"repro/internal/lint"
 	"repro/internal/suite"
 	"repro/internal/syncopt"
@@ -142,14 +144,29 @@ func runCertify(c *core.Compiled, sabotage int, witness bool) {
 	cert, viols := an.Check(cs)
 	if len(viols) > 0 {
 		if witness {
-			b, _ := json.MarshalIndent(viols, "", "  ")
-			fmt.Println(string(b))
+			pay := certifyPayload{Certified: false, Violations: viols}
+			if err := envelope.Write(os.Stdout, envelope.ToolCertify, pay); err != nil {
+				fmt.Fprintln(os.Stderr, "barrierc:", err)
+				os.Exit(2)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "barrierc: schedule rejected (%d unordered flows):\n%s",
 			len(viols), certify.RenderViolations(viols))
 		os.Exit(1)
 	}
-	os.Stdout.Write(cert.JSON())
+	pay := certifyPayload{Certified: true, Certificate: cert}
+	if err := envelope.Write(os.Stdout, envelope.ToolCertify, pay); err != nil {
+		fmt.Fprintln(os.Stderr, "barrierc:", err)
+		os.Exit(2)
+	}
+}
+
+// certifyPayload is the -certify envelope payload: the certificate on
+// acceptance, the violation list (with witnesses) on a -witness rejection.
+type certifyPayload struct {
+	Certified   bool                 `json:"certified"`
+	Certificate *certify.Certificate `json:"certificate,omitempty"`
+	Violations  []certify.Violation  `json:"violations,omitempty"`
 }
 
 func loadSource(kernel string, args []string) (src, name string, err error) {

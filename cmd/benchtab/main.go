@@ -4,6 +4,7 @@
 //	benchtab                  # everything at the standard input, P=8
 //	benchtab -table 3 -p 16   # one table at another worker count
 //	benchtab -table W         # per-site sync wait, base vs optimized
+//	benchtab -table T -out BENCH_exec.json   # backend throughput table
 //	benchtab -fig 1           # barrier latency vs processors
 //	benchtab -ablate repl     # Table 3 with replacement disabled (A2)
 //	benchtab -ablate merge    # Table 3 with merging disabled (A3)
@@ -23,11 +24,13 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "", "print only table N (1..4 or W)")
+		table   = flag.String("table", "", "print only table N (1..4, W or T)")
 		fig     = flag.Int("fig", 0, "print only figure N (1, 3 or 4)")
 		workers = flag.Int("p", 8, "worker count for dynamic measurements")
 		ablate  = flag.String("ablate", "", "ablation for table 3: repl or merge")
 		gantt   = flag.String("gantt", "", "render a simulated execution gantt for the named kernel (software-DSM costs)")
+		kernels = flag.String("kernels", "", "comma-separated kernel subset for table T (default: all)")
+		outJSON = flag.String("out", "", "with -table T: also write the report as a versioned JSON envelope to this file (BENCH_exec.json)")
 	)
 	flag.Parse()
 
@@ -40,9 +43,9 @@ func main() {
 
 	tbl := strings.ToUpper(*table)
 	switch tbl {
-	case "", "1", "2", "3", "4", "W":
+	case "", "1", "2", "3", "4", "W", "T":
 	default:
-		fail(fmt.Errorf("unknown -table %q (want 1..4 or W)", *table))
+		fail(fmt.Errorf("unknown -table %q (want 1..4, W or T)", *table))
 	}
 
 	opt := suite.MeasureOptions{Workers: *workers}
@@ -99,6 +102,31 @@ func main() {
 			fail(err)
 		}
 		fmt.Println()
+	}
+	if wantTables("T") {
+		var names []string
+		if *kernels != "" {
+			names = strings.Split(*kernels, ",")
+		}
+		rep, err := suite.MeasureExecBench(names, *workers, 3)
+		if err != nil {
+			fail(err)
+		}
+		suite.TableT(os.Stdout, rep)
+		fmt.Println()
+		if *outJSON != "" {
+			f, err := os.Create(*outJSON)
+			if err != nil {
+				fail(err)
+			}
+			if err := suite.WriteExecBenchJSON(f, rep); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *outJSON)
+		}
 	}
 	if wantFig(4) {
 		err := suite.Figure4(os.Stdout,

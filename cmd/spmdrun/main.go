@@ -3,25 +3,36 @@
 // dynamic synchronization counts the paper's tables are built from and
 // verifying the parallel result against the sequential interpreter.
 //
-// stdout carries only the machine-parseable `key: value` result lines;
+// The run is bound to a signal-cancelled context: Ctrl-C (or SIGTERM, or
+// the -timeout deadline) tears the worker team down through the watchdog
+// failure latch and the process exits with a cancellation error instead
+// of hanging in a half-finished barrier episode.
+//
+// stdout carries only the machine-parseable result — `key: value` lines,
+// or with -json a single versioned envelope (schema_version/tool/payload);
 // diagnostics (per-site stats, sanitizer report, trace summary) go to
 // stderr. docs/INTERNALS.md §9 documents every flag.
 //
 // Usage:
 //
 //	spmdrun -kernel jacobi2d -p 8
+//	spmdrun -kernel jacobi2d -p 8 -backend interp -json
 //	spmdrun -kernel jacobi2d -p 8 -trace out.json -trace-summary
 //	spmdrun -p 4 -mode base -param N=256 -param T=10 prog.dsl
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/envelope"
 	"repro/internal/exec"
 	"repro/internal/spmdrt"
 	"repro/internal/suite"
@@ -45,15 +56,41 @@ func (p paramList) Set(s string) error {
 	return nil
 }
 
+// runPayload is the -json result, wrapped in the spmdrun envelope. The
+// field set is deliberately flat and stable: scripts key on it.
+type runPayload struct {
+	Program   string  `json:"program"`
+	Mode      string  `json:"mode"`
+	Workers   int     `json:"workers"`
+	Barrier   string  `json:"barrier"`
+	Backend   string  `json:"backend"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	Checksum  float64 `json:"checksum"`
+	Sync      struct {
+		Barriers      int64 `json:"barriers"`
+		CounterIncrs  int64 `json:"counter_incrs"`
+		CounterWaits  int64 `json:"counter_waits"`
+		NeighborWaits int64 `json:"neighbor_waits"`
+		Dispatches    int64 `json:"dispatches"`
+	} `json:"sync"`
+	Certified      bool     `json:"certified"`
+	Violations     int      `json:"violations,omitempty"`
+	VerifyDiff     *float64 `json:"verify_max_abs_diff,omitempty"`
+	SanitizerClean *bool    `json:"sanitizer_clean,omitempty"`
+}
+
 func main() {
 	params := paramList{}
 	var (
 		kernel  = flag.String("kernel", "", "run a named suite kernel")
 		workers = flag.Int("p", 8, "number of workers")
 		mode    = flag.String("mode", "opt", "base (fork-join) or opt (SPMD)")
+		backend = flag.String("backend", "closure", "executor backend: closure (compiled) or interp (tree-walking oracle)")
 		barrier = flag.String("barrier", "central", "barrier implementation: central, tree, dissemination")
 		verify  = flag.Bool("verify", true, "compare against the sequential interpreter")
 		det     = flag.Bool("det", false, "deterministic (rank-ordered) reduction merges")
+		jsonOut = flag.Bool("json", false, "print the result as a versioned JSON envelope on stdout")
+		timeout = flag.Duration("timeout", 0, "cancel the run after this long (0 disables); cancellation tears the team down cleanly")
 
 		watchdog = flag.Duration("watchdog", 0, "stall deadline; a worker blocked this long aborts the run with a per-worker deadlock report (0 disables)")
 		chaos    = flag.Int64("chaos-seed", 0, "enable deterministic chaos injection with this seed (0 disables)")
@@ -66,6 +103,17 @@ func main() {
 	)
 	flag.Var(params, "param", "program parameter NAME=VALUE (repeatable)")
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancel the run context; the executor routes the
+	// cancellation through the team's failure latch so blocked workers
+	// unwind instead of deadlocking the exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var src string
 	if *kernel != "" {
@@ -101,12 +149,17 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown barrier %q", *barrier))
 	}
+	be, err := exec.ParseBackend(*backend)
+	if err != nil {
+		fail(err)
+	}
 
 	c, err := core.Compile(src, core.Options{})
 	if err != nil {
 		fail(err)
 	}
 	cfg := exec.Config{Workers: *workers, Barrier: bk, Params: params,
+		Backend:                 be,
 		DeterministicReductions: *det,
 		WatchdogTimeout:         *watchdog,
 		ChaosSeed:               *chaos,
@@ -114,7 +167,7 @@ func main() {
 		Sanitize:                *sanitize,
 		Trace:                   *traceOut != "" || *traceSum,
 		TraceBufCap:             *traceCap}
-	var runner *exec.Runner
+	var runner *core.Runner
 	switch *mode {
 	case "base":
 		runner, err = c.NewBaselineRunner(cfg)
@@ -127,14 +180,36 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	res, err := runner.Run()
+	res, err := runner.RunContext(ctx)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("program %s  mode=%s  P=%d  barrier=%s\n", c.Prog.Name, *mode, *workers, bk)
-	fmt.Printf("elapsed:  %s\n", res.Elapsed)
-	fmt.Printf("sync:     %s\n", res.Stats)
-	fmt.Printf("checksum: %.10g\n", res.State.Checksum())
+
+	pay := runPayload{
+		Program:   c.Prog.Name,
+		Mode:      *mode,
+		Workers:   *workers,
+		Barrier:   bk.String(),
+		Backend:   be.String(),
+		ElapsedNS: res.Elapsed.Nanoseconds(),
+		Checksum:  res.State.Checksum(),
+		Certified: res.Certify.Certified,
+	}
+	pay.Sync.Barriers = res.Stats.Barriers
+	pay.Sync.CounterIncrs = res.Stats.CounterIncrs
+	pay.Sync.CounterWaits = res.Stats.CounterWaits
+	pay.Sync.NeighborWaits = res.Stats.NeighborWaits
+	pay.Sync.Dispatches = res.Stats.Dispatches
+	pay.Violations = len(res.Certify.Violations)
+
+	if !*jsonOut {
+		fmt.Printf("program %s  mode=%s  P=%d  barrier=%s  backend=%s\n",
+			c.Prog.Name, *mode, *workers, bk, be)
+		fmt.Printf("elapsed:  %s\n", res.Elapsed)
+		fmt.Printf("sync:     %s\n", res.Stats)
+		fmt.Printf("checksum: %.10g\n", res.State.Checksum())
+		fmt.Printf("certified: %v\n", res.Certify.Certified)
+	}
 
 	// Diagnostics go to stderr so stdout stays machine-parseable.
 	if ps := res.Stats.PerSiteString(); ps != "" {
@@ -143,6 +218,8 @@ func main() {
 	}
 	if res.Sanitizer != nil {
 		fmt.Fprintln(os.Stderr, res.Sanitizer)
+		clean := res.Sanitizer.Clean()
+		pay.SanitizerClean = &clean
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -168,9 +245,17 @@ func main() {
 			fail(err)
 		}
 		d := exec.ComparableDiff(ref, res.State, c.Prog)
-		fmt.Printf("verify:   max |parallel - sequential| = %g\n", d)
+		pay.VerifyDiff = &d
+		if !*jsonOut {
+			fmt.Printf("verify:   max |parallel - sequential| = %g\n", d)
+		}
 		if d > 1e-9 {
 			fail(fmt.Errorf("parallel execution diverged from sequential semantics"))
+		}
+	}
+	if *jsonOut {
+		if err := envelope.Write(os.Stdout, envelope.ToolRun, pay); err != nil {
+			fail(err)
 		}
 	}
 	if res.Sanitizer != nil && !res.Sanitizer.Clean() {

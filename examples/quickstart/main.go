@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -40,12 +42,20 @@ func main() {
 
 	params := map[string]int64{"N": 1 << 14, "T": 20}
 
+	// Runs are context-aware: cancellation or a deadline tears the worker
+	// team down cleanly through the runtime's failure latch.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
 	// Baseline: fork-join with a join barrier after every parallel loop.
+	// Statements execute as closures compiled over a flat register frame
+	// (exec.Closure, the default backend); pass Backend: exec.Interp to
+	// run on the tree-walking oracle instead.
 	base, err := c.NewBaselineRunner(exec.Config{Workers: 8, Params: params})
 	if err != nil {
 		log.Fatal(err)
 	}
-	bres, err := base.Run()
+	bres, err := base.RunContext(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,13 +65,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ores, err := opt.Run()
+	ores, err := opt.RunContext(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("\nbaseline:  %-45s elapsed %s\n", bres.Stats, bres.Elapsed)
 	fmt.Printf("optimized: %-45s elapsed %s\n", ores.Stats, ores.Elapsed)
+
+	// Every result carries the independent certifier's verdict of the
+	// schedule that ran — no separate certify step needed.
+	fmt.Printf("schedule certified: %v\n", ores.Certify.Certified)
 
 	// The two executions compute the same thing; prove it.
 	ref, err := c.RunSequential(params)

@@ -1,0 +1,124 @@
+// Package compile is the closure-compilation backend of the executor: it
+// lowers each IR statement and expression ONCE into Go closures over a
+// flat register frame, so the per-iteration hot path runs with
+// pre-resolved array bases and strides, integer register slots for loop
+// indices and parameters, and dense scalar slots — no maps, no string
+// lookups, and no error allocation per iteration. Runtime faults (bounds
+// violations, division by zero) are recorded in a per-worker fault slot
+// that the executor checks at statement and synchronization boundaries.
+//
+// The tree-walking interpreter (internal/interp, internal/exec's wenv)
+// remains the reference semantics; this package mirrors it operation for
+// operation and is differentially tested against it.
+package compile
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/ir"
+	"repro/internal/sanitize"
+)
+
+// Fault describes one potential runtime fault site. Every fault a lowered
+// program can raise is built at compile time, so tripping one on the hot
+// path stores two words and allocates nothing.
+type Fault struct {
+	// Pos is the source position of the faulting expression.
+	Pos ir.Pos
+	// Msg is the static description. For faults that record an offending
+	// value (out-of-range subscripts), Suffix follows the value.
+	Msg    string
+	Suffix string
+	hasVal bool
+}
+
+func boundsFault(array string, sub int, pos ir.Pos) *Fault {
+	return &Fault{
+		Pos:    pos,
+		Msg:    "array " + array + ": subscript " + strconv.Itoa(sub) + " =",
+		Suffix: " out of bounds",
+		hasVal: true,
+	}
+}
+
+func divFault(pos ir.Pos) *Fault { return &Fault{Pos: pos, Msg: "integer division by zero"} }
+func modFault(pos ir.Pos) *Fault { return &Fault{Pos: pos, Msg: "mod by zero"} }
+
+// faultError is the error form of a tripped fault.
+type faultError struct {
+	f   *Fault
+	val int64
+}
+
+func (e *faultError) Error() string {
+	s := e.f.Pos.String() + ": " + e.f.Msg
+	if e.f.hasVal {
+		s += " " + strconv.FormatInt(e.val, 10) + e.f.Suffix
+	}
+	return s
+}
+
+// Frame is one worker's execution frame: the storage the lowered closures
+// index directly. The executor builds one frame per worker per run, binds
+// the shared storage into it, and seeds the parameter registers.
+type Frame struct {
+	// Regs holds integer registers: symbolic parameters (seeded once per
+	// run) and loop indices (written by loop drivers).
+	Regs []int64
+	// Priv redirects scalar slots to worker-local cells — privatized loop
+	// temporaries, reduction partials and replicated scalars. A nil entry
+	// means the slot is shared.
+	Priv []*float64
+	// Scal is the shared scalar vector (atomic float64 bit patterns),
+	// aliasing the executor's storage; slot order is declaration order.
+	Scal []atomic.Uint64
+	// Arrays and Dims are the pre-resolved array base slices and extents,
+	// indexed by array id (declaration order).
+	Arrays [][]float64
+	Dims   [][]int64
+
+	// San receives every shared access when the program was lowered with
+	// Options.Instrument (closures then call it unconditionally); SanW is
+	// this worker's rank and SanRepl marks replicated-mode execution.
+	// Sites maps each statement ordinal (Prog.Ordinal) to the tracker's
+	// interned site id for that statement; instrumented statement closures
+	// load their site from it at entry.
+	San     *sanitize.Tracker
+	SanW    int
+	SanRepl bool
+	Sites   []uint16
+	sanSite uint16
+
+	fault    *Fault
+	faultVal int64
+}
+
+// trip records a fault; the first fault wins, later ones are dropped.
+func (fr *Frame) trip(f *Fault, val int64) {
+	if fr.fault == nil {
+		fr.fault = f
+		fr.faultVal = val
+	}
+}
+
+// Ok reports whether the frame is fault-free. It is cheap enough to check
+// per iteration.
+func (fr *Frame) Ok() bool { return fr.fault == nil }
+
+// Err returns the recorded fault as an error, or nil.
+func (fr *Frame) Err() error {
+	if fr.fault == nil {
+		return nil
+	}
+	return &faultError{f: fr.fault, val: fr.faultVal}
+}
+
+// FaultMark snapshots the fault slot so a caller can probe closures (for
+// example the executor's activity estimates, which the interpreter treats
+// as conservative rather than fatal) without committing a fault tripped
+// during the probe. Restore with FaultRestore.
+func (fr *Frame) FaultMark() (*Fault, int64) { return fr.fault, fr.faultVal }
+
+// FaultRestore resets the fault slot to a FaultMark snapshot.
+func (fr *Frame) FaultRestore(f *Fault, val int64) { fr.fault, fr.faultVal = f, val }

@@ -15,8 +15,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/comm"
+	"repro/internal/compile"
 	"repro/internal/decomp"
 	"repro/internal/deps"
 	"repro/internal/exec"
@@ -76,6 +78,15 @@ type Compiled struct {
 	// Baseline is the fork-join schedule (one barrier per parallel
 	// loop), for base-vs-optimized comparisons.
 	Baseline *syncopt.Schedule
+
+	// Memoized per-compilation artifacts: the closure lowering (shared by
+	// every runner built from this compilation) and the certify verdicts
+	// of the two schedules.
+	exeOnce  sync.Once
+	exe      *compile.Prog
+	exeErr   error
+	verOnce  [2]sync.Once
+	verdicts [2]Verdict
 }
 
 // Compile parses DSL source and runs the full pipeline.
@@ -116,15 +127,42 @@ func CompileProgram(prog *ir.Program, opt Options) *Compiled {
 	}
 }
 
+// Exe returns the memoized closure lowering of the program. Every runner
+// built from this compilation with the (default) Closure backend shares
+// it, so the program is lowered once per Compile, not once per runner.
+func (c *Compiled) Exe() (*compile.Prog, error) {
+	c.exeOnce.Do(func() {
+		c.exe, c.exeErr = compile.Compile(c.Prog, nil, compile.Options{})
+	})
+	return c.exe, c.exeErr
+}
+
 // NewRunner builds a parallel runner for the optimized schedule.
-func (c *Compiled) NewRunner(cfg exec.Config) (*exec.Runner, error) {
-	return exec.NewRunner(c.Prog, c.Schedule, c.Plan, cfg)
+func (c *Compiled) NewRunner(cfg exec.Config) (*Runner, error) {
+	return c.newRunner(c.Schedule, cfg, schedOptimized)
 }
 
 // NewBaselineRunner builds a fork-join runner for the baseline schedule.
-func (c *Compiled) NewBaselineRunner(cfg exec.Config) (*exec.Runner, error) {
+func (c *Compiled) NewBaselineRunner(cfg exec.Config) (*Runner, error) {
 	cfg.Mode = exec.ForkJoin
-	return exec.NewRunner(c.Prog, c.Baseline, c.Plan, cfg)
+	return c.newRunner(c.Baseline, cfg, schedBaseline)
+}
+
+func (c *Compiled) newRunner(sched *syncopt.Schedule, cfg exec.Config, which int) (*Runner, error) {
+	// Share the cached lowering when it applies (the sanitizer needs an
+	// instrumented lowering, which exec compiles per runner).
+	if cfg.Backend == exec.Closure && !cfg.Sanitize && cfg.Compiled == nil {
+		exe, err := c.Exe()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Compiled = exe
+	}
+	er, err := exec.NewRunner(c.Prog, sched, c.Plan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Runner: er, c: c, sched: which}, nil
 }
 
 // RunSequential executes the program with the reference interpreter on a

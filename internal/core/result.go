@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/certify"
+	"repro/internal/exec"
+	"repro/internal/interp"
+)
+
+// Verdict is the static certifier's judgment of one schedule, attached to
+// every facade result so callers stop re-running the certifier by hand.
+type Verdict struct {
+	// Certified reports that the certifier independently proved the
+	// schedule sound (no violations, solver and oracle agreed).
+	Certified bool
+	// Certificate carries the proof artifact when Certified.
+	Certificate *certify.Certificate
+	// Violations are the unordered flows found, if any.
+	Violations []certify.Violation
+	// Err reports a certifier failure (solver-oracle disagreement); when
+	// set, neither Certificate nor Violations should be trusted.
+	Err error
+}
+
+const (
+	schedOptimized = 0
+	schedBaseline  = 1
+)
+
+// Verdict returns the memoized certify verdict of the optimized schedule.
+func (c *Compiled) Verdict() Verdict { return c.verdictOf(schedOptimized) }
+
+// BaselineVerdict returns the memoized certify verdict of the fork-join
+// baseline schedule.
+func (c *Compiled) BaselineVerdict() Verdict { return c.verdictOf(schedBaseline) }
+
+func (c *Compiled) verdictOf(which int) Verdict {
+	c.verOnce[which].Do(func() {
+		sched := c.Schedule
+		if which == schedBaseline {
+			sched = c.Baseline
+		}
+		cert, viols, err := certify.Certify(c.Prog, ToCertify(sched), c.CertifyOptions())
+		c.verdicts[which] = Verdict{
+			Certified:   err == nil && len(viols) == 0 && cert != nil,
+			Certificate: cert,
+			Violations:  viols,
+			Err:         err,
+		}
+	})
+	return c.verdicts[which]
+}
+
+// Result is the consolidated facade result: the executor's result (final
+// state, synchronization stats snapshot, elapsed time, sanitizer report,
+// trace recorder) plus the certify verdict of the schedule that ran — the
+// triple spmdrun/benchtab/suite previously assembled by hand.
+type Result struct {
+	exec.Result
+	// Certify is the static verdict of the schedule this run executed
+	// (the baseline schedule's verdict for baseline runners).
+	Certify Verdict
+}
+
+// Runner executes one compiled schedule. It embeds the executor's runner —
+// inspection methods (NumSyncSites, SyncSiteClasses, Backend) promote — and
+// shadows the run methods to return the consolidated *Result.
+type Runner struct {
+	*exec.Runner
+	c     *Compiled
+	sched int
+}
+
+// Compiled returns the compilation this runner was built from.
+func (r *Runner) Compiled() *Compiled { return r.c }
+
+// Run executes the program on a fresh deterministically-seeded state.
+func (r *Runner) Run() (*Result, error) {
+	return r.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: cancellation or deadline expiry tears
+// the worker team down through the watchdog path and returns a
+// *spmdrt.CancelError wrapping ctx.Err().
+func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
+	res, err := r.Runner.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return r.wrap(res), nil
+}
+
+// RunOn executes the program over existing storage.
+func (r *Runner) RunOn(st *interp.State) (*Result, error) {
+	return r.RunContextOn(context.Background(), st)
+}
+
+// RunContextOn is RunOn under a context (see RunContext).
+func (r *Runner) RunContextOn(ctx context.Context, st *interp.State) (*Result, error) {
+	res, err := r.Runner.RunContextOn(ctx, st)
+	if err != nil {
+		return nil, err
+	}
+	return r.wrap(res), nil
+}
+
+func (r *Runner) wrap(res *exec.Result) *Result {
+	return &Result{Result: *res, Certify: r.c.verdictOf(r.sched)}
+}

@@ -55,7 +55,7 @@ func TestCorpus(t *testing.T) {
 			}
 			for _, mode := range []exec.Mode{exec.ForkJoin, exec.SPMD} {
 				cfg := exec.Config{Workers: 4, Params: p, Mode: mode}
-				var r *exec.Runner
+				var r *core.Runner
 				if mode == exec.ForkJoin {
 					r, err = c.NewBaselineRunner(cfg)
 				} else {

@@ -1,0 +1,128 @@
+package exec_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/spmdrt"
+	"repro/internal/suite"
+)
+
+func contextRunner(t *testing.T, kernel string, params map[string]int64) *core.Runner {
+	t.Helper()
+	k, err := suite.Get(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params == nil {
+		params = k.Params
+	}
+	r, err := c.NewRunner(exec.Config{Workers: 4, Params: params, Mode: exec.SPMD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRunContextCancel pins the cancellation contract: a cancelled or
+// expired context aborts the run with a *spmdrt.CancelError that unwraps
+// to the context's error, and the worker team tears down instead of
+// hanging — both when the context dies before the run starts and when it
+// dies mid-run.
+func TestRunContextCancel(t *testing.T) {
+	t.Run("pre-cancelled", func(t *testing.T) {
+		r := contextRunner(t, "jacobi1d", nil)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := r.RunContext(ctx)
+		var ce *spmdrt.CancelError
+		if !errors.As(err, &ce) {
+			t.Fatalf("want *spmdrt.CancelError, got %v", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("CancelError does not unwrap to context.Canceled: %v", err)
+		}
+	})
+	t.Run("deadline mid-run", func(t *testing.T) {
+		// A large input so the run reliably outlives the deadline.
+		r := contextRunner(t, "jacobi2d", map[string]int64{"N": 256, "T": 1 << 20})
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		_, err := r.RunContext(ctx)
+		var ce *spmdrt.CancelError
+		if !errors.As(err, &ce) {
+			t.Fatalf("want *spmdrt.CancelError, got %v", err)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("CancelError does not unwrap to DeadlineExceeded: %v", err)
+		}
+		// Teardown must be prompt (the unwind grace is 2s; a hang here
+		// would mean cancellation never reached blocked workers).
+		if d := time.Since(start); d > 10*time.Second {
+			t.Fatalf("cancellation took %s to tear the team down", d)
+		}
+	})
+	t.Run("uncancelled context still runs", func(t *testing.T) {
+		r := contextRunner(t, "jacobi1d", nil)
+		res, err := r.RunContext(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.State == nil {
+			t.Fatal("nil final state from a successful RunContext")
+		}
+	})
+}
+
+// TestConfigValidation pins the typed rejection of bad configs: worker
+// counts below one and unknown backends fail construction with a
+// *exec.ConfigError naming the field, instead of panicking at run time.
+func TestConfigValidation(t *testing.T) {
+	k, err := suite.Get("jacobi1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		cfg   exec.Config
+		field string
+	}{
+		{"zero workers", exec.Config{Workers: 0, Params: k.Params}, "Workers"},
+		{"negative workers", exec.Config{Workers: -3, Params: k.Params}, "Workers"},
+		{"unknown backend", exec.Config{Workers: 2, Params: k.Params, Backend: exec.Backend(99)}, "Backend"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := c.NewRunner(tc.cfg)
+			var ce *exec.ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want *exec.ConfigError, got %v", err)
+			}
+			if ce.Field != tc.field {
+				t.Fatalf("ConfigError.Field = %q, want %q", ce.Field, tc.field)
+			}
+		})
+	}
+	if _, err := exec.ParseBackend("closure"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.ParseBackend("interp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.ParseBackend("jit"); err == nil {
+		t.Fatal("ParseBackend accepted an unknown backend name")
+	}
+}

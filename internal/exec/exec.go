@@ -1,10 +1,12 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/compile"
 	"repro/internal/decomp"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -38,12 +40,67 @@ func (m Mode) String() string {
 	return "spmd"
 }
 
+// Backend selects the statement-execution engine the workers run.
+type Backend int
+
+const (
+	// Closure (the default) executes bodies lowered once per program into
+	// Go closures over a flat register frame (internal/compile): no maps,
+	// no string lookups and no error allocation on the per-iteration hot
+	// path.
+	Closure Backend = iota
+	// Interp tree-walks the IR with the reference evaluation semantics.
+	// It is kept as the differential-testing oracle (the fuzzer diffs
+	// final states across backends) and for debugging.
+	Interp
+)
+
+func (b Backend) String() string {
+	switch b {
+	case Closure:
+		return "closure"
+	case Interp:
+		return "interp"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// ParseBackend converts a CLI spelling to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "closure":
+		return Closure, nil
+	case "interp":
+		return Interp, nil
+	}
+	return 0, fmt.Errorf("exec: unknown backend %q (want closure or interp)", s)
+}
+
+// ConfigError reports an invalid Config field. NewRunner returns it
+// instead of letting a bad configuration panic inside team startup.
+type ConfigError struct {
+	Field string
+	Msg   string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("exec: invalid Config.%s: %s", e.Field, e.Msg)
+}
+
 // Config configures a parallel run.
 type Config struct {
 	Workers int
 	Barrier spmdrt.BarrierKind
 	Params  map[string]int64
 	Mode    Mode
+	// Backend selects the statement-execution engine (default Closure).
+	Backend Backend
+	// Compiled optionally injects a pre-lowered closure program (as built
+	// by compile.Compile) so repeated runners over one compilation share a
+	// single lowering. It is used only when it was lowered from this
+	// runner's program with an instrumentation setting matching Sanitize;
+	// otherwise NewRunner lowers afresh.
+	Compiled *compile.Prog
 	// DeterministicReductions serializes reduction merges in worker-rank
 	// order (a point-to-point chain), making results bitwise reproducible
 	// run-to-run at the cost of serializing the merge step. Without it,
@@ -110,15 +167,38 @@ type Runner struct {
 	nSites int
 	// siteClass[id] is the scheduled synchronization class at each site.
 	siteClass []comm.Class
+	// exe is the lowered closure program (nil when Backend == Interp).
+	exe *compile.Prog
 }
 
 // NewRunner validates the configuration and precomputes sync-site ids.
+// With the Closure backend it also lowers the program (or adopts
+// cfg.Compiled), so per-run work is only frame binding.
 func NewRunner(prog *ir.Program, sched *syncopt.Schedule, plan *decomp.Plan, cfg Config) (*Runner, error) {
-	if cfg.Workers <= 0 {
-		return nil, fmt.Errorf("exec: Workers must be positive, got %d", cfg.Workers)
+	if cfg.Workers < 1 {
+		return nil, &ConfigError{Field: "Workers",
+			Msg: fmt.Sprintf("must be at least 1, got %d", cfg.Workers)}
+	}
+	if cfg.Backend != Closure && cfg.Backend != Interp {
+		return nil, &ConfigError{Field: "Backend",
+			Msg: fmt.Sprintf("unknown backend %d (want Closure or Interp)", int(cfg.Backend))}
 	}
 	r := &Runner{prog: prog, sched: sched, plan: plan, cfg: cfg,
 		sites: map[*syncopt.RegionSched][]int{}}
+	if cfg.Backend == Closure {
+		exe := cfg.Compiled
+		if exe != nil && (exe.Source() != prog || exe.Instrumented() != cfg.Sanitize) {
+			exe = nil
+		}
+		if exe == nil {
+			var err error
+			exe, err = compile.Compile(prog, nil, compile.Options{Instrument: cfg.Sanitize})
+			if err != nil {
+				return nil, err
+			}
+		}
+		r.exe = exe
+	}
 	var number func(rs *syncopt.RegionSched)
 	number = func(rs *syncopt.RegionSched) {
 		ids := make([]int, len(rs.After))
@@ -138,11 +218,15 @@ func NewRunner(prog *ir.Program, sched *syncopt.Schedule, plan *decomp.Plan, cfg
 	}
 	number(sched.Top)
 	if cfg.SabotageEdge < 0 || cfg.SabotageEdge > r.nSites {
-		return nil, fmt.Errorf("exec: SabotageEdge %d out of range (schedule has %d sync sites)",
-			cfg.SabotageEdge, r.nSites)
+		return nil, &ConfigError{Field: "SabotageEdge",
+			Msg: fmt.Sprintf("%d out of range (schedule has %d sync sites)",
+				cfg.SabotageEdge, r.nSites)}
 	}
 	return r, nil
 }
+
+// Backend returns the statement-execution engine this runner uses.
+func (r *Runner) Backend() Backend { return r.cfg.Backend }
 
 // NumSyncSites returns the number of scheduled sync sites (region
 // boundaries), the domain of Config.SabotageEdge.
@@ -158,16 +242,31 @@ func (r *Runner) SyncSiteClasses() []comm.Class {
 
 // Run executes the program on a fresh deterministically-seeded state.
 func (r *Runner) Run() (*Result, error) {
+	return r.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: cancellation or deadline expiry trips
+// the team's failure latch, every worker blocked in a runtime primitive
+// unwinds, and the call returns a *spmdrt.CancelError wrapping ctx.Err().
+func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 	st, err := interp.NewState(r.prog, r.cfg.Params)
 	if err != nil {
 		return nil, err
 	}
 	st.SeedDeterministic()
-	return r.RunOn(st)
+	return r.RunContextOn(ctx, st)
 }
 
 // RunOn executes the program over existing storage.
 func (r *Runner) RunOn(st *interp.State) (*Result, error) {
+	return r.RunContextOn(context.Background(), st)
+}
+
+// RunContextOn is RunOn under a context (see RunContext).
+func (r *Runner) RunContextOn(ctx context.Context, st *interp.State) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &spmdrt.CancelError{Cause: err}
+	}
 	ps := newPState(st)
 	team := spmdrt.NewTeam(r.cfg.Workers, r.cfg.Barrier)
 	if r.cfg.WatchdogTimeout > 0 {
@@ -251,26 +350,72 @@ func (r *Runner) RunOn(st *interp.State) (*Result, error) {
 	}
 	repl0 := map[string]*float64{}
 
+	// Sanitizer site ids for the closure backend: one shared read-only
+	// vector mapping statement ordinals to interned tracker sites.
+	var sanSites []uint16
+	if run.san != nil && r.exe != nil {
+		sanSites = make([]uint16, r.exe.NumStmts())
+		for s, id := range run.san.siteOf {
+			if ord, ok := r.exe.Ordinal(s); ok {
+				sanSites[ord] = id
+			}
+		}
+	}
+
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				team.Cancel(ctx.Err())
+			case <-stop:
+			}
+		}()
+	}
+
 	start := time.Now()
 	runErr := team.Run(func(w int) {
 		ws := &workerState{
 			run:       run,
 			w:         w,
-			env:       newWenv(ps),
 			cum:       make([]int64, r.nSites),
 			cross:     make([]int64, r.nSites),
 			activeBuf: make([]bool, r.cfg.Workers),
 		}
-		if run.san != nil {
-			ws.env.san = run.san.tr
-			ws.env.sw = w
+		if r.exe != nil {
+			fr := r.exe.NewFrame()
+			fr.Scal = ps.scalars
+			for i, a := range r.prog.Arrays {
+				if av := ps.arrays[a.Name]; av != nil {
+					fr.Arrays[i], fr.Dims[i] = av.Data, av.Dims
+				}
+			}
+			lay := r.exe.Layout()
+			for name, v := range ps.params {
+				if reg, ok := lay.ParamReg(name); ok {
+					fr.Regs[reg] = v
+				}
+			}
+			if run.san != nil {
+				fr.San = run.san.tr
+				fr.SanW = w
+				fr.Sites = sanSites
+			}
+			ws.fr = fr
+		} else {
+			ws.env = newWenv(ps)
+			if run.san != nil {
+				ws.env.san = run.san.tr
+				ws.env.sw = w
+			}
 		}
 		for _, name := range replNames {
 			cell := new(float64)
 			if i, ok := ps.scalarIdx[name]; ok {
 				*cell = ps.loadScalar(i)
 			}
-			ws.env.priv[name] = cell
+			ws.setPriv(name, cell)
 			if w == 0 {
 				repl0[name] = cell
 			}
@@ -327,11 +472,14 @@ type teamRun struct {
 	sabotage int
 }
 
-// workerState is one worker's execution context.
+// workerState is one worker's execution context. Exactly one of env (the
+// tree-walking Interp backend) and fr (the Closure backend's register
+// frame) is set.
 type workerState struct {
 	run *teamRun
 	w   int
 	env *wenv
+	fr  *compile.Frame
 	err error
 	// cum: per-site cumulative counter targets (identical on all
 	// workers — each computes them from the same deterministic data).
@@ -352,12 +500,88 @@ func (ws *workerState) fail(err error) {
 	}
 }
 
+// syncFault promotes a closure-backend fault into the worker error at a
+// statement or synchronization boundary (the interpreter raises its error
+// at the same points); the worker keeps participating in synchronization
+// so peers are not deadlocked by its failure.
+func (ws *workerState) syncFault() {
+	if ws.fr != nil {
+		ws.fail(ws.fr.Err())
+	}
+}
+
+// setPriv redirects a scalar to a worker-local cell on whichever backend
+// is active. Undeclared names are ignored on the closure backend: a
+// reference to one would already have failed compilation.
+func (ws *workerState) setPriv(name string, cell *float64) {
+	if ws.fr != nil {
+		if slot, ok := ws.run.exe.Layout().ScalarSlot(name); ok {
+			ws.fr.Priv[slot] = cell
+		}
+		return
+	}
+	ws.env.priv[name] = cell
+}
+
+// bounds evaluates a loop's bounds on the active backend.
+func (ws *workerState) bounds(l *ir.Loop) (lo, hi int64, ok bool) {
+	if fr := ws.fr; fr != nil {
+		loF, hiF := ws.run.exe.Bounds(l)
+		lo, hi = loF(fr), hiF(fr)
+		if !fr.Ok() {
+			ws.syncFault()
+			return 0, 0, false
+		}
+		return lo, hi, true
+	}
+	lo, err := ws.env.evalInt(l.Lo)
+	if err != nil {
+		ws.fail(err)
+		return 0, 0, false
+	}
+	hi, err = ws.env.evalInt(l.Hi)
+	if err != nil {
+		ws.fail(err)
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// probeBounds evaluates bounds for activity estimation; a failure is
+// reported as !ok without committing an error (the estimate then counts
+// every worker, matching the interpreter's conservative fallback).
+func (ws *workerState) probeBounds(l *ir.Loop) (lo, hi int64, ok bool) {
+	if fr := ws.fr; fr != nil {
+		mark, markVal := fr.FaultMark()
+		loF, hiF := ws.run.exe.Bounds(l)
+		lo, hi = loF(fr), hiF(fr)
+		if !fr.Ok() {
+			fr.FaultRestore(mark, markVal)
+			return 0, 0, false
+		}
+		return lo, hi, true
+	}
+	lo, err1 := ws.env.evalInt(l.Lo)
+	hi, err2 := ws.env.evalInt(l.Hi)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
 // execRegion runs one region's groups and boundary synchronization. For a
 // loop region this executes ONE iteration's worth (the caller drives the
 // loop), including the loop-bottom sync at the last boundary.
 func (ws *workerState) execRegion(rs *syncopt.RegionSched) {
 	ids := ws.run.sites[rs]
 	for gi := range rs.Groups {
+		if ws.run.team.Failed() {
+			// The team failure latch tripped (watchdog, peer panic or
+			// context cancellation): stop compute-bound work. Peers
+			// blocked in primitives unwind through the latch, so skipping
+			// the remaining posts cannot deadlock them.
+			return
+		}
 		for _, s := range rs.Groups[gi].Stmts {
 			ws.execTop(s)
 		}
@@ -401,9 +625,9 @@ func (ws *workerState) execTop(s ir.Stmt) {
 			// Every worker executes the statement with identical inputs
 			// (the paper's replicated computation model); any shared store
 			// is a same-value store, which the sanitizer must exempt.
-			ws.env.repl = true
+			ws.setRepl(true)
 			ws.seqExec([]ir.Stmt{s})
-			ws.env.repl = false
+			ws.setRepl(false)
 			return
 		}
 		ws.seqExec([]ir.Stmt{s})
@@ -425,17 +649,23 @@ func (ws *workerState) execTop(s ir.Stmt) {
 		ws.execWavefront(l)
 	case region.ModeSeqLoop:
 		l := s.(*ir.Loop)
-		lo, err := ws.env.evalInt(l.Lo)
-		if err != nil {
-			ws.fail(err)
-			return
-		}
-		hi, err := ws.env.evalInt(l.Hi)
-		if err != nil {
-			ws.fail(err)
+		lo, hi, ok := ws.bounds(l)
+		if !ok {
 			return
 		}
 		inner := ws.run.sched.Regions[l]
+		if fr := ws.fr; fr != nil {
+			reg, regOK := ws.run.exe.Layout().IndexReg(l.Index)
+			if !regOK {
+				ws.fail(fmt.Errorf("no register for sequential loop index %s", l.Index))
+				return
+			}
+			for k := lo; k <= hi; k++ {
+				fr.Regs[reg] = k
+				ws.execRegion(inner)
+			}
+			return
+		}
 		for k := lo; k <= hi; k++ {
 			ws.env.idx[l.Index] = k
 			ws.execRegion(inner)
@@ -444,20 +674,22 @@ func (ws *workerState) execTop(s ir.Stmt) {
 	}
 }
 
+// setRepl marks replicated-mode execution for the sanitizer.
+func (ws *workerState) setRepl(on bool) {
+	if ws.fr != nil {
+		ws.fr.SanRepl = on
+		return
+	}
+	ws.env.repl = on
+}
+
 // execWavefront runs the worker's chunk of a serial loop as a relay:
 // ascending rank order with point-to-point handoffs preserves the exact
 // sequential iteration order across workers (§3.3 pipelining — workers in
 // an enclosing sequential loop proceed in a staggered wave).
 func (ws *workerState) execWavefront(l *ir.Loop) {
-	e := ws.env
-	lo, err := e.evalInt(l.Lo)
-	if err != nil {
-		ws.fail(err)
-		return
-	}
-	hi, err := e.evalInt(l.Hi)
-	if err != nil {
-		ws.fail(err)
+	lo, hi, ok := ws.bounds(l)
+	if !ok {
 		return
 	}
 	chain := ws.run.waveChain[l]
@@ -484,11 +716,7 @@ func (ws *workerState) execWavefront(l *ir.Loop) {
 	if err != nil {
 		ws.fail(err)
 	} else {
-		for i := start; i <= end && ws.err == nil; i += step {
-			e.idx[l.Index] = i
-			ws.seqExec(l.Body)
-		}
-		delete(e.idx, l.Index)
+		ws.runSlice(l, start, end, step)
 	}
 	if run.san != nil {
 		run.san.tr.P2PPost(chain, ws.w)
@@ -496,17 +724,38 @@ func (ws *workerState) execWavefront(l *ir.Loop) {
 	chain.Post(ws.w)
 }
 
-// execParallelSlice runs this worker's partition of a parallel loop.
-func (ws *workerState) execParallelSlice(l *ir.Loop) {
-	e := ws.env
-	lo, err := e.evalInt(l.Lo)
-	if err != nil {
-		ws.fail(err)
+// runSlice executes the worker's iterations of a partitioned loop on the
+// active backend. The closure path is the executor's hottest loop: one
+// register store and one compiled-body call per iteration, with faults
+// checked by pointer compare instead of error returns.
+func (ws *workerState) runSlice(l *ir.Loop, start, end, step int64) {
+	if fr := ws.fr; fr != nil {
+		body := ws.run.exe.Body(l)
+		reg, regOK := ws.run.exe.Layout().IndexReg(l.Index)
+		if body == nil || !regOK {
+			ws.fail(fmt.Errorf("loop %s not lowered by the closure backend", l.Index))
+			return
+		}
+		for i := start; i <= end && ws.err == nil && fr.Ok(); i += step {
+			fr.Regs[reg] = i
+			body(fr)
+		}
+		ws.syncFault()
 		return
 	}
-	hi, err := e.evalInt(l.Hi)
-	if err != nil {
-		ws.fail(err)
+	e := ws.env
+	for i := start; i <= end && ws.err == nil; i += step {
+		e.idx[l.Index] = i
+		ws.seqExec(l.Body)
+	}
+	delete(e.idx, l.Index)
+}
+
+// execParallelSlice runs this worker's partition of a parallel loop.
+func (ws *workerState) execParallelSlice(l *ir.Loop) {
+	ps := ws.run.ps
+	lo, hi, ok := ws.bounds(l)
+	if !ok {
 		return
 	}
 	start, end, step, err := ws.slice(l, lo, hi, ws.w)
@@ -515,17 +764,26 @@ func (ws *workerState) execParallelSlice(l *ir.Loop) {
 		return
 	}
 
-	// Activate privates and reduction partials.
+	// Activate privates and reduction partials: redirect the scalar to a
+	// worker-local cell on the active backend, remembering the previous
+	// redirection for restore (parallel loops can nest lexically).
 	type saved struct {
 		name string
 		old  *float64
 	}
 	var saves []saved
 	activate := func(name string, init float64) *float64 {
-		saves = append(saves, saved{name, e.priv[name]})
 		cell := new(float64)
 		*cell = init
-		e.priv[name] = cell
+		if fr := ws.fr; fr != nil {
+			if slot, slotOK := ws.run.exe.Layout().ScalarSlot(name); slotOK {
+				saves = append(saves, saved{name, fr.Priv[slot]})
+				fr.Priv[slot] = cell
+			}
+			return cell
+		}
+		saves = append(saves, saved{name, ws.env.priv[name]})
+		ws.env.priv[name] = cell
 		return cell
 	}
 	for _, p := range l.Private {
@@ -538,7 +796,7 @@ func (ws *workerState) execParallelSlice(l *ir.Loop) {
 	}
 	var reds []redCell
 	for _, red := range l.Reductions {
-		si, found := e.ps.scalarIdx[red.Var]
+		si, found := ps.scalarIdx[red.Var]
 		if !found {
 			ws.fail(fmt.Errorf("reduction variable %s is not a scalar", red.Var))
 			return
@@ -547,11 +805,7 @@ func (ws *workerState) execParallelSlice(l *ir.Loop) {
 			c: activate(red.Var, reductionIdentity(red.Op))})
 	}
 
-	for i := start; i <= end && ws.err == nil; i += step {
-		e.idx[l.Index] = i
-		ws.seqExec(l.Body)
-	}
-	delete(e.idx, l.Index)
+	ws.runSlice(l, start, end, step)
 
 	if len(reds) > 0 {
 		if chain := ws.run.redChain[l]; chain != nil {
@@ -571,7 +825,7 @@ func (ws *workerState) execParallelSlice(l *ir.Loop) {
 				}
 			}
 			for _, rc := range reds {
-				e.ps.mergeScalar(rc.idx, *rc.c, rc.op)
+				ps.mergeScalar(rc.idx, *rc.c, rc.op)
 			}
 			if run.san != nil {
 				run.san.tr.P2PPost(chain, ws.w)
@@ -579,12 +833,12 @@ func (ws *workerState) execParallelSlice(l *ir.Loop) {
 			chain.Post(ws.w)
 		} else {
 			for _, rc := range reds {
-				e.ps.mergeScalar(rc.idx, *rc.c, rc.op)
+				ps.mergeScalar(rc.idx, *rc.c, rc.op)
 			}
 		}
 	}
 	for i := len(saves) - 1; i >= 0; i-- {
-		e.priv[saves[i].name] = saves[i].old
+		ws.setPriv(saves[i].name, saves[i].old)
 	}
 }
 
@@ -624,11 +878,19 @@ func (ws *workerState) affineVal(a linear.Affine) (int64, error) {
 			}
 			val = p
 		case linear.KindLoop:
-			i, ok := ws.env.idx[vr.Name]
-			if !ok {
-				return 0, fmt.Errorf("unbound loop index %s in placement", vr.Name)
+			if fr := ws.fr; fr != nil {
+				reg, ok := ws.run.exe.Layout().IndexReg(vr.Name)
+				if !ok {
+					return 0, fmt.Errorf("unbound loop index %s in placement", vr.Name)
+				}
+				val = fr.Regs[reg]
+			} else {
+				i, ok := ws.env.idx[vr.Name]
+				if !ok {
+					return 0, fmt.Errorf("unbound loop index %s in placement", vr.Name)
+				}
+				val = i
 			}
-			val = i
 		default:
 			return 0, fmt.Errorf("unexpected variable %s in placement", vr.Name)
 		}
@@ -641,6 +903,22 @@ func (ws *workerState) affineVal(a linear.Affine) (int64, error) {
 // parallel-loop slices, guarded statements, replicated statements). Any
 // nested `parallel` annotation inside is executed sequentially here.
 func (ws *workerState) seqExec(stmts []ir.Stmt) {
+	if fr := ws.fr; fr != nil {
+		exe := ws.run.exe
+		for _, s := range stmts {
+			if ws.err != nil || !fr.Ok() {
+				break
+			}
+			fn := exe.Stmt(s)
+			if fn == nil {
+				ws.fail(fmt.Errorf("%s: statement not lowered by the closure backend", s.Pos()))
+				return
+			}
+			fn(fr)
+		}
+		ws.syncFault()
+		return
+	}
 	for _, s := range stmts {
 		if ws.err != nil {
 			return
@@ -756,11 +1034,10 @@ func (ws *workerState) groupActivity(g syncopt.Group) (self bool, total int) {
 	}
 	for _, s := range g.Stmts {
 		switch ws.run.sched.Modes[s] {
-		case region.ModeParallel:
+		case region.ModeParallel, region.ModeWavefront:
 			l := s.(*ir.Loop)
-			lo, err1 := ws.env.evalInt(l.Lo)
-			hi, err2 := ws.env.evalInt(l.Hi)
-			if err1 != nil || err2 != nil {
+			lo, hi, ok := ws.probeBounds(l)
+			if !ok {
 				// Conservative: count everyone.
 				for i := range ws.activeBuf {
 					ws.activeBuf[i] = true
@@ -773,25 +1050,6 @@ func (ws *workerState) groupActivity(g syncopt.Group) (self bool, total int) {
 				}
 				st, en, _, err := ws.slice(l, lo, hi, w)
 				if err != nil || st <= en {
-					ws.activeBuf[w] = true
-				}
-			}
-		case region.ModeWavefront:
-			l := s.(*ir.Loop)
-			lo, err1 := ws.env.evalInt(l.Lo)
-			hi, err2 := ws.env.evalInt(l.Hi)
-			if err1 != nil || err2 != nil {
-				for i := range ws.activeBuf {
-					ws.activeBuf[i] = true
-				}
-				continue
-			}
-			for w := 0; w < ws.run.cfg.Workers; w++ {
-				if ws.activeBuf[w] {
-					continue
-				}
-				st2, en, _, err := ws.slice(l, lo, hi, w)
-				if err != nil || st2 <= en {
 					ws.activeBuf[w] = true
 				}
 			}

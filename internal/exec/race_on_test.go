@@ -1,0 +1,13 @@
+//go:build race
+
+package exec_test
+
+// raceEnabled reports that this binary was built with the race detector.
+// Tests that execute deliberately-sabotaged schedules skip under it: a
+// dropped sync edge plants a real data race on purpose, and the detector
+// reporting that planted race is it working as designed, not a finding.
+// (The interpreter backend used to mask these from the detector by
+// accident — its sanitizer lock traffic sat densely enough around every
+// access to manufacture happens-before edges; the compiled backend is
+// fast enough between tracker calls that the mask is gone.)
+const raceEnabled = true

@@ -16,7 +16,7 @@ import (
 )
 
 // traceRun compiles a suite kernel and runs it with tracing enabled.
-func traceRun(t *testing.T, kernel string, workers int, mode exec.Mode, cfg exec.Config) *exec.Result {
+func traceRun(t *testing.T, kernel string, workers int, mode exec.Mode, cfg exec.Config) *core.Result {
 	t.Helper()
 	k, err := suite.Get(kernel)
 	if err != nil {
@@ -30,7 +30,7 @@ func traceRun(t *testing.T, kernel string, workers int, mode exec.Mode, cfg exec
 	cfg.Params = k.Params
 	cfg.Mode = mode
 	cfg.Trace = true
-	var r *exec.Runner
+	var r *core.Runner
 	if mode == exec.ForkJoin {
 		r, err = c.NewBaselineRunner(cfg)
 	} else {
@@ -132,7 +132,7 @@ func TestTraceDeterminism(t *testing.T) {
 				WatchdogTimeout: 60 * time.Second}
 			a := traceRun(t, name, workers, exec.SPMD, cfg)
 			b := traceRun(t, name, workers, exec.SPMD, cfg)
-			for _, res := range []*exec.Result{a, b} {
+			for _, res := range []*core.Result{a, b} {
 				if res.Sanitizer == nil || !res.Sanitizer.Clean() {
 					t.Fatalf("sanitizer not clean with tracer enabled:\n%v", res.Sanitizer)
 				}

@@ -370,6 +370,22 @@ func RunOn(st *State) error {
 	return execStmts(env, st.Prog.Body)
 }
 
+// RunCount is Run plus the number of assignment statements executed — the
+// work unit the throughput benchmarks normalize elapsed time by, identical
+// across backends because every backend executes the same assignments.
+func RunCount(prog *ir.Program, params map[string]int64) (*State, int64, error) {
+	st, err := NewState(prog, params)
+	if err != nil {
+		return nil, 0, err
+	}
+	st.SeedDeterministic()
+	env := newEnv(st)
+	if err := execStmts(env, st.Prog.Body); err != nil {
+		return nil, 0, err
+	}
+	return st, env.StmtCount, nil
+}
+
 func execStmts(env *Env, stmts []ir.Stmt) error {
 	for _, s := range stmts {
 		if err := execStmt(env, s); err != nil {

@@ -578,6 +578,17 @@ func (t *Team) SetTrace(rec *synctrace.Recorder) {
 	}
 }
 
+// Cancel aborts a running team through the watchdog's failure latch: Run
+// returns a *CancelError wrapping cause, and every worker blocked in a
+// team-bound primitive unwinds. Safe to call from any goroutine and
+// idempotent; calling after the run finished is a no-op on the result.
+func (t *Team) Cancel(cause error) { t.mon.fail(&CancelError{Cause: cause}) }
+
+// Failed reports whether the team's failure latch has tripped (watchdog,
+// worker panic or cancellation). Workers can poll it at region boundaries
+// to stop compute-bound work between synchronizations.
+func (t *Team) Failed() bool { return t.mon.failed.Load() }
+
 // NewCounter returns a counter bound to this team's watchdog.
 func (t *Team) NewCounter() *Counter { return &Counter{mon: t.mon} }
 

@@ -125,6 +125,22 @@ func (e *DeadlockError) Error() string {
 	return sb.String()
 }
 
+// CancelError reports a run aborted by external cancellation (a caller's
+// context being cancelled or timing out) rather than by a runtime failure.
+// It rides the same failure latch as the watchdog: workers blocked in
+// monitored primitives unwind promptly, compute-bound workers are
+// abandoned after the unwind grace period.
+type CancelError struct {
+	// Cause is the cancellation reason (typically a context error).
+	Cause error
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("spmdrt: run cancelled: %v", e.Cause)
+}
+
+func (e *CancelError) Unwrap() error { return e.Cause }
+
 // PanicError wraps a panic raised by one team worker so Team.Run can cancel
 // the remaining workers and surface the panic value to the caller.
 type PanicError struct {

@@ -1,0 +1,149 @@
+package suite
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/envelope"
+	"repro/internal/exec"
+	"repro/internal/interp"
+)
+
+// ExecBench is one row of Table T: per-kernel iteration throughput of the
+// two executor backends on the optimized SPMD schedule. Throughput is
+// normalized to assignments executed per second — the sequential
+// interpreter's dynamic assignment count at the kernel's standard input —
+// so kernels of very different sizes land on one comparable scale.
+type ExecBench struct {
+	Kernel  string `json:"kernel"`
+	Workers int    `json:"workers"`
+	// Assigns is the dynamic assignment count of one whole-program run.
+	Assigns int64 `json:"assignments"`
+	// InterpNS / ClosureNS are median elapsed wall times (ns) of the SPMD
+	// run under each backend.
+	InterpNS  int64 `json:"interp_ns"`
+	ClosureNS int64 `json:"closure_ns"`
+	// InterpRate / ClosureRate are assignments per second.
+	InterpRate  float64 `json:"interp_assigns_per_sec"`
+	ClosureRate float64 `json:"closure_assigns_per_sec"`
+	// Speedup is ClosureRate / InterpRate.
+	Speedup float64 `json:"speedup"`
+}
+
+// ExecBenchReport is the Table T artifact, the payload of BENCH_exec.json.
+type ExecBenchReport struct {
+	Workers int         `json:"workers"`
+	Samples int         `json:"samples"`
+	Rows    []ExecBench `json:"rows"`
+}
+
+// MeasureExecBench measures iteration throughput of the closure-compiled
+// backend against the tree-walking interpreter backend for the named
+// kernels (all suite kernels when names is empty). Each cell is the
+// median of samples runs, interleaved closure/interp so ambient-load
+// drift on a time-sliced host cannot bias one backend.
+func MeasureExecBench(names []string, workers, samples int) (*ExecBenchReport, error) {
+	if workers <= 0 {
+		workers = 8
+	}
+	if samples <= 0 {
+		samples = 3
+	}
+	if len(names) == 0 {
+		for _, k := range Kernels() {
+			names = append(names, k.Name)
+		}
+	}
+	rep := &ExecBenchReport{Workers: workers, Samples: samples}
+	for _, name := range names {
+		k, err := Get(name)
+		if err != nil {
+			return nil, err
+		}
+		c, err := core.Compile(k.Source, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: compile: %w", name, err)
+		}
+		_, assigns, err := interp.RunCount(c.Prog, k.Params)
+		if err != nil {
+			return nil, fmt.Errorf("%s: sequential count: %w", name, err)
+		}
+		runners := make(map[exec.Backend]*core.Runner)
+		elapsed := make(map[exec.Backend][]time.Duration)
+		for _, bk := range []exec.Backend{exec.Closure, exec.Interp} {
+			r, err := c.NewRunner(exec.Config{
+				Workers: workers, Params: k.Params, Mode: exec.SPMD, Backend: bk})
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s runner: %w", name, bk, err)
+			}
+			runners[bk] = r
+		}
+		for i := 0; i < samples; i++ {
+			for _, bk := range []exec.Backend{exec.Closure, exec.Interp} {
+				res, err := runners[bk].Run()
+				if err != nil {
+					return nil, fmt.Errorf("%s: %s run: %w", name, bk, err)
+				}
+				elapsed[bk] = append(elapsed[bk], res.Elapsed)
+			}
+		}
+		row := ExecBench{
+			Kernel:    name,
+			Workers:   workers,
+			Assigns:   assigns,
+			InterpNS:  medianDuration(elapsed[exec.Interp]).Nanoseconds(),
+			ClosureNS: medianDuration(elapsed[exec.Closure]).Nanoseconds(),
+		}
+		if row.InterpNS > 0 {
+			row.InterpRate = float64(assigns) / (float64(row.InterpNS) / 1e9)
+		}
+		if row.ClosureNS > 0 {
+			row.ClosureRate = float64(assigns) / (float64(row.ClosureNS) / 1e9)
+		}
+		if row.InterpRate > 0 {
+			row.Speedup = row.ClosureRate / row.InterpRate
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+func medianDuration(ds []time.Duration) time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[(len(ds)-1)/2]
+}
+
+// TableT prints per-kernel iteration throughput of the two executor
+// backends (closure-compiled vs tree-walking interpreter) on the
+// optimized SPMD schedule.
+func TableT(w io.Writer, rep *ExecBenchReport) {
+	fmt.Fprintf(w, "Table T: executor backend throughput, interp vs closure (P=%d, median of %d)\n",
+		rep.Workers, rep.Samples)
+	fmt.Fprintf(w, "%-14s %10s %12s %12s %14s %14s %8s\n",
+		"program", "assigns", "interp", "closure", "interp/s", "closure/s", "speedup")
+	gm, n := 0.0, 0
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%-14s %10d %12s %12s %14.3g %14.3g %7.2fx\n",
+			r.Kernel, r.Assigns,
+			time.Duration(r.InterpNS).Round(time.Microsecond),
+			time.Duration(r.ClosureNS).Round(time.Microsecond),
+			r.InterpRate, r.ClosureRate, r.Speedup)
+		if r.Speedup > 0 {
+			gm += math.Log(r.Speedup)
+			n++
+		}
+	}
+	if n > 0 {
+		fmt.Fprintf(w, "%-14s %66.2fx (geometric mean)\n", "MEAN", math.Exp(gm/float64(n)))
+	}
+}
+
+// WriteExecBenchJSON writes the report as a versioned benchtab-exec
+// envelope (the BENCH_exec.json artifact).
+func WriteExecBenchJSON(w io.Writer, rep *ExecBenchReport) error {
+	return envelope.Write(w, envelope.ToolBench, rep)
+}

@@ -161,7 +161,7 @@ const waitSamples = 10
 // returned summaries are real single-run summaries (the median run), so
 // their per-site breakdowns stay internally consistent. Nil summaries
 // (tracing off) return nil without re-running.
-func pairedMedianWait(base, opt *exec.Runner, b0, o0 *synctrace.Summary) (*synctrace.Summary, *synctrace.Summary, error) {
+func pairedMedianWait(base, opt *core.Runner, b0, o0 *synctrace.Summary) (*synctrace.Summary, *synctrace.Summary, error) {
 	if b0 == nil || o0 == nil {
 		return b0, o0, nil
 	}

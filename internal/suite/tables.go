@@ -146,7 +146,7 @@ func Table4(w io.Writer, names []string, workerList []int) error {
 func medianRun(c *core.Compiled, k Kernel, workers int, mode exec.Mode, baseline bool) (time.Duration, error) {
 	var runs []time.Duration
 	for i := 0; i < 3; i++ {
-		var r *exec.Runner
+		var r *core.Runner
 		var err error
 		cfg := exec.Config{Workers: workers, Params: k.Params, Mode: mode}
 		if baseline {

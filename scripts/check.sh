@@ -2,7 +2,9 @@
 # Full correctness battery: formatting, vet, build, race-detector tests,
 # DSL lint and independent schedule-certification smokes, a
 # chaos + sanitizer + watchdog smoke of representative suite kernels,
-# trace-export and Table W smokes, and the tracing overhead guard.
+# trace-export and Table W smokes, the tracing overhead guard, the
+# closure/interp backend-parity gate, and the Table T throughput smoke
+# with its BENCH_exec.json envelope validation.
 # Run from anywhere; operates on the repository containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,7 +27,7 @@ echo "== go test -race =="
 go test -race ./...
 
 barrierc="$(mktemp -t barrierc.XXXXXX)"
-trap 'rm -f "$barrierc" "${trace_tmp:-}"' EXIT
+trap 'rm -f "$barrierc" "${trace_tmp:-}" "${bench_tmp:-}"' EXIT
 go build -o "$barrierc" ./cmd/barrierc
 
 echo "== lint smoke (barrierc -lint) =="
@@ -122,6 +124,35 @@ read -r won total <<<"$wins"
 if [ "$won" -lt $(( (total + 1) / 2 )) ]; then
     echo "ERROR: optimized wait beat baseline on only $won/$total kernels (need >= half)" >&2
     exit 1
+fi
+
+echo "== backend parity gate =="
+# The closure-compiled backend must reproduce the tree-walking interpreter
+# backend bit for bit on every suite kernel (rank-ordered reductions make
+# both deterministic). This is the differential gate behind the compiled
+# executor: any float divergence is a lowering bug.
+go test -run TestBackendParity ./internal/suite -count=1
+
+echo "== benchtab Table T smoke (BENCH_exec.json) =="
+# The backend-throughput table must build, emit a valid versioned JSON
+# envelope, and show the closure backend >= 3x interpreter throughput on
+# the compute-bound acceptance kernels (jacobi2d, matmul) at P=8.
+bench_tmp="$(mktemp -t benchexec.XXXXXX.json)"
+go run ./cmd/benchtab -table T -p 8 -kernels jacobi2d,matmul -out "$bench_tmp" | tail -n 4
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$bench_tmp" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema_version"] == 1, d
+assert d["tool"] == "benchtab-exec", d
+rows = {r["kernel"]: r for r in d["payload"]["rows"]}
+for k in ("jacobi2d", "matmul"):
+    assert k in rows, f"{k} missing from BENCH_exec.json"
+    s = rows[k]["speedup"]
+    assert s >= 3.0, f"{k}: closure speedup {s:.2f}x < 3x acceptance floor"
+print("-- BENCH_exec.json valid; speedups:",
+      ", ".join(f"{k}={rows[k]['speedup']:.2f}x" for k in rows))
+EOF
 fi
 
 echo "== sabotage must be caught =="
