@@ -7,6 +7,7 @@
 //
 //	barrierc [-explain] [-cyclic] [-ablate repl|merge] <file.dsl>
 //	barrierc -kernel jacobi2d -explain
+//	barrierc -kernel jacobi2d -remarks [-json]
 //	barrierc -lint <file.dsl>
 //	barrierc -kernel jacobi1d -certify [-sabotage N] [-witness]
 //	barrierc -list
@@ -21,6 +22,13 @@
 // (1-based, the executor's SabotageEdge numbering) first, and -witness
 // renders a rejection in the same envelope including the concrete
 // counterexample witnesses.
+//
+// With -remarks the per-sync-site optimization remarks are printed: for
+// every site (the executor's 1-based numbering), the primitive chosen, the
+// source position, the dependence pairs that forced it with their
+// Fourier-Motzkin evidence, and the cheaper alternatives rejected. With
+// -json the set is wrapped in the versioned envelope (tool
+// "barrierc-remarks"); docs/REMARKS.md documents the schema.
 package main
 
 import (
@@ -39,15 +47,17 @@ import (
 
 func main() {
 	var (
-		kernel  = flag.String("kernel", "", "analyze a named suite kernel instead of a file")
-		list    = flag.Bool("list", false, "list suite kernels and exit")
-		explain = flag.Bool("explain", false, "print placements, serial reasons and per-boundary sync")
-		cyclic  = flag.Bool("cyclic", false, "use a cyclic data decomposition")
-		ablate  = flag.String("ablate", "", "disable an optimization: repl (replacement) or merge (group merging)")
-		lintF   = flag.Bool("lint", false, "lint the program and exit (0 clean, 1 findings, 2 internal error)")
-		certF   = flag.Bool("certify", false, "re-check the schedule with the independent certifier; print the JSON certificate")
-		sabot   = flag.Int("sabotage", 0, "with -certify: demote sync site N (1-based) to none before checking")
-		witness = flag.Bool("witness", false, "with -certify: print rejections as JSON including witnesses")
+		kernel   = flag.String("kernel", "", "analyze a named suite kernel instead of a file")
+		list     = flag.Bool("list", false, "list suite kernels and exit")
+		explain  = flag.Bool("explain", false, "print placements, serial reasons and per-boundary sync")
+		cyclic   = flag.Bool("cyclic", false, "use a cyclic data decomposition")
+		ablate   = flag.String("ablate", "", "disable an optimization: repl (replacement) or merge (group merging)")
+		lintF    = flag.Bool("lint", false, "lint the program and exit (0 clean, 1 findings, 2 internal error)")
+		certF    = flag.Bool("certify", false, "re-check the schedule with the independent certifier; print the JSON certificate")
+		sabot    = flag.Int("sabotage", 0, "with -certify: demote sync site N (1-based) to none before checking")
+		witness  = flag.Bool("witness", false, "with -certify: print rejections as JSON including witnesses")
+		remarksF = flag.Bool("remarks", false, "print per-sync-site optimization remarks (why each site was kept, weakened or eliminated)")
+		jsonOut  = flag.Bool("json", false, "with -remarks: print the remark set as a versioned JSON envelope")
 	)
 	flag.Parse()
 
@@ -97,6 +107,18 @@ func main() {
 
 	if *certF {
 		runCertify(c, *sabot, *witness)
+		return
+	}
+
+	if *remarksF {
+		set := c.Remarks()
+		if *jsonOut {
+			if err := envelope.Write(os.Stdout, envelope.ToolRemarks, set); err != nil {
+				fail(err)
+			}
+			return
+		}
+		fmt.Print(set.Render())
 		return
 	}
 

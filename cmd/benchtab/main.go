@@ -4,6 +4,7 @@
 //	benchtab                  # everything at the standard input, P=8
 //	benchtab -table 3 -p 16   # one table at another worker count
 //	benchtab -table W         # per-site sync wait, base vs optimized
+//	benchtab -table R         # analysis cost: FM solver work + phase wall per kernel
 //	benchtab -table T -out BENCH_exec.json   # backend throughput table
 //	benchtab -fig 1           # barrier latency vs processors
 //	benchtab -ablate repl     # Table 3 with replacement disabled (A2)
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "", "print only table N (1..4, W or T)")
+		table   = flag.String("table", "", "print only table N (1..4, W, T or R)")
 		fig     = flag.Int("fig", 0, "print only figure N (1, 3 or 4)")
 		workers = flag.Int("p", 8, "worker count for dynamic measurements")
 		ablate  = flag.String("ablate", "", "ablation for table 3: repl or merge")
@@ -43,9 +44,9 @@ func main() {
 
 	tbl := strings.ToUpper(*table)
 	switch tbl {
-	case "", "1", "2", "3", "4", "W", "T":
+	case "", "1", "2", "3", "4", "W", "T", "R":
 	default:
-		fail(fmt.Errorf("unknown -table %q (want 1..4, W or T)", *table))
+		fail(fmt.Errorf("unknown -table %q (want 1..4, W, T or R)", *table))
 	}
 
 	opt := suite.MeasureOptions{Workers: *workers}
@@ -127,6 +128,14 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *outJSON)
 		}
+	}
+	if wantTables("R") {
+		rows, err := suite.MeasureAnalysisCosts(opt.Sync)
+		if err != nil {
+			fail(err)
+		}
+		suite.TableR(os.Stdout, rows)
+		fmt.Println()
 	}
 	if wantFig(4) {
 		err := suite.Figure4(os.Stdout,

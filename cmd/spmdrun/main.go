@@ -8,14 +8,22 @@
 // failure latch and the process exits with a cancellation error instead
 // of hanging in a half-finished barrier episode.
 //
-// stdout carries only the machine-parseable result — `key: value` lines,
-// or with -json a single versioned envelope (schema_version/tool/payload);
+// stdout carries only the machine-parseable result — `key: value` lines
+// plus, with -report, the ranked sync-report table; or with -json a single
+// versioned envelope (schema_version/tool/payload) that embeds the report;
 // diagnostics (per-site stats, sanitizer report, trace summary) go to
 // stderr. docs/INTERNALS.md §9 documents every flag.
+//
+// With -report the run records sync events (tracing is forced on) and the
+// static optimization remarks are joined with the per-site runtime wait
+// attribution into the ranked "cost of kept barriers" table: one row per
+// kept sync site — static reason and position and FM verdict × dynamic
+// operation count × p50/p99 wait. docs/REMARKS.md documents the format.
 //
 // Usage:
 //
 //	spmdrun -kernel jacobi2d -p 8
+//	spmdrun -kernel jacobi2d -p 8 -report [-json]
 //	spmdrun -kernel jacobi2d -p 8 -backend interp -json
 //	spmdrun -kernel jacobi2d -p 8 -trace out.json -trace-summary
 //	spmdrun -p 4 -mode base -param N=256 -param T=10 prog.dsl
@@ -25,6 +33,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -34,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/envelope"
 	"repro/internal/exec"
+	"repro/internal/remarks"
 	"repro/internal/spmdrt"
 	"repro/internal/suite"
 	"repro/internal/synctrace"
@@ -77,32 +87,50 @@ type runPayload struct {
 	Violations     int      `json:"violations,omitempty"`
 	VerifyDiff     *float64 `json:"verify_max_abs_diff,omitempty"`
 	SanitizerClean *bool    `json:"sanitizer_clean,omitempty"`
+	// Report is the static↔runtime sync report (only with -report).
+	Report *remarks.Report `json:"report,omitempty"`
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process edges cut off (args, stdout, stderr, exit
+// status), so tests can execute full command lines in-process and assert
+// on the stdout contract.
+func run(args []string, stdout, stderr io.Writer) int {
 	params := paramList{}
+	fs := flag.NewFlagSet("spmdrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		kernel  = flag.String("kernel", "", "run a named suite kernel")
-		workers = flag.Int("p", 8, "number of workers")
-		mode    = flag.String("mode", "opt", "base (fork-join) or opt (SPMD)")
-		backend = flag.String("backend", "closure", "executor backend: closure (compiled) or interp (tree-walking oracle)")
-		barrier = flag.String("barrier", "central", "barrier implementation: central, tree, dissemination")
-		verify  = flag.Bool("verify", true, "compare against the sequential interpreter")
-		det     = flag.Bool("det", false, "deterministic (rank-ordered) reduction merges")
-		jsonOut = flag.Bool("json", false, "print the result as a versioned JSON envelope on stdout")
-		timeout = flag.Duration("timeout", 0, "cancel the run after this long (0 disables); cancellation tears the team down cleanly")
+		kernel  = fs.String("kernel", "", "run a named suite kernel")
+		workers = fs.Int("p", 8, "number of workers")
+		mode    = fs.String("mode", "opt", "base (fork-join) or opt (SPMD)")
+		backend = fs.String("backend", "closure", "executor backend: closure (compiled) or interp (tree-walking oracle)")
+		barrier = fs.String("barrier", "central", "barrier implementation: central, tree, dissemination")
+		verify  = fs.Bool("verify", true, "compare against the sequential interpreter")
+		det     = fs.Bool("det", false, "deterministic (rank-ordered) reduction merges")
+		jsonOut = fs.Bool("json", false, "print the result as a versioned JSON envelope on stdout")
+		report  = fs.Bool("report", false, "join static remarks with runtime per-site waits; print the ranked kept-barrier cost table (forces tracing)")
+		timeout = fs.Duration("timeout", 0, "cancel the run after this long (0 disables); cancellation tears the team down cleanly")
 
-		watchdog = flag.Duration("watchdog", 0, "stall deadline; a worker blocked this long aborts the run with a per-worker deadlock report (0 disables)")
-		chaos    = flag.Int64("chaos-seed", 0, "enable deterministic chaos injection with this seed (0 disables)")
-		sanitize = flag.Bool("sanitize", false, "run the schedule-soundness sanitizer and report unordered cross-worker flows")
-		sabotage = flag.Int("sabotage", 0, "drop the sync edge with this 1-based site number (testing aid; makes the schedule unsound)")
+		watchdog = fs.Duration("watchdog", 0, "stall deadline; a worker blocked this long aborts the run with a per-worker deadlock report (0 disables)")
+		chaos    = fs.Int64("chaos-seed", 0, "enable deterministic chaos injection with this seed (0 disables)")
+		sanitize = fs.Bool("sanitize", false, "run the schedule-soundness sanitizer and report unordered cross-worker flows")
+		sabotage = fs.Int("sabotage", 0, "drop the sync edge with this 1-based site number (testing aid; makes the schedule unsound)")
 
-		traceOut = flag.String("trace", "", "record sync events and write a Chrome trace-event JSON file (view in ui.perfetto.dev)")
-		traceSum = flag.Bool("trace-summary", false, "record sync events and print per-site wait/imbalance summary to stderr")
-		traceCap = flag.Int("trace-buf", 0, "per-worker trace ring capacity in events (0 = default 65536; oldest events drop when full)")
+		traceOut = fs.String("trace", "", "record sync events and write a Chrome trace-event JSON file (view in ui.perfetto.dev)")
+		traceSum = fs.Bool("trace-summary", false, "record sync events and print per-site wait/imbalance summary to stderr")
+		traceCap = fs.Int("trace-buf", 0, "per-worker trace ring capacity in events (0 = default 65536; oldest events drop when full)")
 	)
-	flag.Var(params, "param", "program parameter NAME=VALUE (repeatable)")
-	flag.Parse()
+	fs.Var(params, "param", "program parameter NAME=VALUE (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "spmdrun:", err)
+		return 1
+	}
 
 	// Ctrl-C / SIGTERM cancel the run context; the executor routes the
 	// cancellation through the team's failure latch so blocked workers
@@ -119,7 +147,7 @@ func main() {
 	if *kernel != "" {
 		k, err := suite.Get(*kernel)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		src = k.Source
 		for n, v := range k.Params {
@@ -128,12 +156,12 @@ func main() {
 			}
 		}
 	} else {
-		if len(flag.Args()) != 1 {
-			fail(fmt.Errorf("usage: spmdrun [flags] <file.dsl> (or -kernel NAME)"))
+		if len(fs.Args()) != 1 {
+			return fail(fmt.Errorf("usage: spmdrun [flags] <file.dsl> (or -kernel NAME)"))
 		}
-		b, err := os.ReadFile(flag.Arg(0))
+		b, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		src = string(b)
 	}
@@ -147,16 +175,16 @@ func main() {
 	case "dissemination":
 		bk = spmdrt.Dissemination
 	default:
-		fail(fmt.Errorf("unknown barrier %q", *barrier))
+		return fail(fmt.Errorf("unknown barrier %q", *barrier))
 	}
 	be, err := exec.ParseBackend(*backend)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	c, err := core.Compile(src, core.Options{})
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	cfg := exec.Config{Workers: *workers, Barrier: bk, Params: params,
 		Backend:                 be,
@@ -165,7 +193,7 @@ func main() {
 		ChaosSeed:               *chaos,
 		SabotageEdge:            *sabotage,
 		Sanitize:                *sanitize,
-		Trace:                   *traceOut != "" || *traceSum,
+		Trace:                   *traceOut != "" || *traceSum || *report,
 		TraceBufCap:             *traceCap}
 	var runner *core.Runner
 	switch *mode {
@@ -178,11 +206,11 @@ func main() {
 		err = fmt.Errorf("unknown mode %q (want base or opt)", *mode)
 	}
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	res, err := runner.RunContext(ctx)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	pay := runPayload{
@@ -201,73 +229,77 @@ func main() {
 	pay.Sync.NeighborWaits = res.Stats.NeighborWaits
 	pay.Sync.Dispatches = res.Stats.Dispatches
 	pay.Violations = len(res.Certify.Violations)
+	if *report {
+		pay.Report = runner.SyncReport(res)
+	}
 
 	if !*jsonOut {
-		fmt.Printf("program %s  mode=%s  P=%d  barrier=%s  backend=%s\n",
+		fmt.Fprintf(stdout, "program %s  mode=%s  P=%d  barrier=%s  backend=%s\n",
 			c.Prog.Name, *mode, *workers, bk, be)
-		fmt.Printf("elapsed:  %s\n", res.Elapsed)
-		fmt.Printf("sync:     %s\n", res.Stats)
-		fmt.Printf("checksum: %.10g\n", res.State.Checksum())
-		fmt.Printf("certified: %v\n", res.Certify.Certified)
+		fmt.Fprintf(stdout, "elapsed:  %s\n", res.Elapsed)
+		fmt.Fprintf(stdout, "sync:     %s\n", res.Stats)
+		fmt.Fprintf(stdout, "checksum: %.10g\n", res.State.Checksum())
+		fmt.Fprintf(stdout, "certified: %v\n", res.Certify.Certified)
 	}
 
 	// Diagnostics go to stderr so stdout stays machine-parseable.
 	if ps := res.Stats.PerSiteString(); ps != "" {
-		fmt.Fprintln(os.Stderr, "per-site dynamic sync counts:")
-		fmt.Fprintln(os.Stderr, indent(ps))
+		fmt.Fprintln(stderr, "per-site dynamic sync counts:")
+		fmt.Fprintln(stderr, indent(ps))
 	}
 	if res.Sanitizer != nil {
-		fmt.Fprintln(os.Stderr, res.Sanitizer)
+		fmt.Fprintln(stderr, res.Sanitizer)
 		clean := res.Sanitizer.Clean()
 		pay.SanitizerClean = &clean
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := res.Trace.WriteChromeTrace(f); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "trace:    %d events -> %s (load in ui.perfetto.dev)\n",
+		fmt.Fprintf(stderr, "trace:    %d events -> %s (load in ui.perfetto.dev)\n",
 			res.Trace.Recorded(), *traceOut)
 	}
 	if *traceSum {
-		fmt.Fprintln(os.Stderr, synctrace.Summarize(res.Trace))
+		fmt.Fprintln(stderr, synctrace.Summarize(res.Trace))
 	}
 
 	if *verify {
 		ref, err := c.RunSequential(params)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		d := exec.ComparableDiff(ref, res.State, c.Prog)
 		pay.VerifyDiff = &d
 		if !*jsonOut {
-			fmt.Printf("verify:   max |parallel - sequential| = %g\n", d)
+			fmt.Fprintf(stdout, "verify:   max |parallel - sequential| = %g\n", d)
 		}
 		if d > 1e-9 {
-			fail(fmt.Errorf("parallel execution diverged from sequential semantics"))
+			return fail(fmt.Errorf("parallel execution diverged from sequential semantics"))
 		}
 	}
+	if *report && !*jsonOut {
+		// The report is part of the requested result, not a diagnostic:
+		// it goes to stdout, after the key:value block.
+		fmt.Fprint(stdout, pay.Report.Render())
+	}
 	if *jsonOut {
-		if err := envelope.Write(os.Stdout, envelope.ToolRun, pay); err != nil {
-			fail(err)
+		if err := envelope.Write(stdout, envelope.ToolRun, pay); err != nil {
+			return fail(err)
 		}
 	}
 	if res.Sanitizer != nil && !res.Sanitizer.Clean() {
-		fail(fmt.Errorf("sanitizer found unordered cross-worker flows"))
+		return fail(fmt.Errorf("sanitizer found unordered cross-worker flows"))
 	}
+	return 0
 }
 
 func indent(s string) string {
 	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "spmdrun:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/envelope"
+	"repro/internal/remarks"
+)
+
+// TestJSONStdoutIsSingleEnvelope locks the PR 2 stdout contract: with
+// -json, stdout must be exactly one versioned envelope — every diagnostic
+// path (per-site stats, sanitizer, trace summary, report) stays on stderr.
+func TestJSONStdoutIsSingleEnvelope(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"plain", []string{"-kernel", "jacobi1d", "-p", "4", "-json"}},
+		{"report", []string{"-kernel", "jacobi2d", "-p", "4", "-json", "-report"}},
+		{"sanitize", []string{"-kernel", "jacobi1d", "-p", "4", "-json", "-sanitize"}},
+		{"trace-summary", []string{"-kernel", "jacobi1d", "-p", "4", "-json", "-trace-summary"}},
+		{"baseline", []string{"-kernel", "jacobi1d", "-p", "4", "-json", "-mode", "base", "-report"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("run(%v) = %d, stderr:\n%s", tc.args, code, stderr.String())
+			}
+			env, err := envelope.Decode(stdout.Bytes())
+			if err != nil {
+				t.Fatalf("stdout is not a single envelope: %v\nstdout:\n%s", err, stdout.String())
+			}
+			if env.Tool != envelope.ToolRun {
+				t.Fatalf("tool = %q, want %q", env.Tool, envelope.ToolRun)
+			}
+			var pay runPayload
+			if err := env.Into(&pay); err != nil {
+				t.Fatalf("payload: %v", err)
+			}
+			if pay.Workers != 4 {
+				t.Errorf("payload workers = %d, want 4", pay.Workers)
+			}
+			// Re-encoding the decoded payload must reproduce the envelope
+			// byte-exactly: nothing leaked onto stdout around it.
+			rt, err := envelope.Wrap(envelope.ToolRun, pay)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rt, stdout.Bytes()) {
+				t.Errorf("envelope does not round-trip byte-exactly")
+			}
+		})
+	}
+}
+
+// TestReportJoinsStaticAndRuntime checks the -report contract on jacobi2d:
+// the payload embeds a report whose rows join a static remark (primitive,
+// position, why-kept) with that site's runtime attribution (ops, waits),
+// ranked by measured wait.
+func TestReportJoinsStaticAndRuntime(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-kernel", "jacobi2d", "-p", "8", "-json", "-report"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr:\n%s", args, code, stderr.String())
+	}
+	env, err := envelope.Decode(stdout.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pay runPayload
+	if err := env.Into(&pay); err != nil {
+		t.Fatal(err)
+	}
+	rep := pay.Report
+	if rep == nil {
+		t.Fatal("-report payload has no report")
+	}
+	if !rep.Traced {
+		t.Error("report not marked traced (tracing should be forced by -report)")
+	}
+	if rep.Workers != 8 {
+		t.Errorf("report workers = %d, want 8", rep.Workers)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("report has no kept-site rows")
+	}
+	for i, row := range rep.Rows {
+		if row.Remark.Primitive == remarks.PrimNone {
+			t.Errorf("row %d: eliminated site %d in kept-barrier report", i, row.Remark.Site)
+		}
+		if row.Remark.Site < 1 {
+			t.Errorf("row %d: bad site id %d", i, row.Remark.Site)
+		}
+		if row.Runtime.Ops() == 0 {
+			t.Errorf("row %d (site %d): kept site executed zero sync operations", i, row.Remark.Site)
+		}
+		if i > 0 && rep.Rows[i-1].Runtime.TotalWait < row.Runtime.TotalWait {
+			t.Errorf("rows not ranked by total wait: row %d (%v) < row %d (%v)",
+				i-1, rep.Rows[i-1].Runtime.TotalWait, i, row.Runtime.TotalWait)
+		}
+	}
+}
+
+// TestTextReportOnStdout checks the text-mode contract: -report appends
+// the ranked table after the key:value block, on stdout.
+func TestTextReportOnStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-kernel", "jacobi2d", "-p", "4", "-report"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr:\n%s", args, code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"sync report: jacobi2d", "why kept", "checksum:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunErrorsExitNonzero checks error paths return 1 and keep stdout
+// empty (errors go to stderr).
+func TestRunErrorsExitNonzero(t *testing.T) {
+	for _, args := range [][]string{
+		{"-kernel", "nosuch"},
+		{"-kernel", "jacobi1d", "-barrier", "bogus"},
+		{"-kernel", "jacobi1d", "-mode", "bogus"},
+		{},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code == 0 {
+			t.Errorf("run(%v) = 0, want nonzero", args)
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("run(%v) wrote to stdout on error:\n%s", args, stdout.String())
+		}
+	}
+}

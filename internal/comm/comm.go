@@ -26,6 +26,7 @@ import (
 	"repro/internal/deps"
 	"repro/internal/ir"
 	"repro/internal/region"
+	"repro/internal/remarks"
 )
 
 // Class is the synchronization class required between two groups.
@@ -68,6 +69,12 @@ type Verdict struct {
 	Exact bool
 	// Pairs holds human-readable findings for diagnostics.
 	Pairs []string
+	// Deps holds the typed access-pair dependences behind the verdict —
+	// the remark-layer view of Pairs, with positions, per-pair FM
+	// evidence and rejection ladders.
+	Deps []remarks.Dependence
+	// FM aggregates the Fourier-Motzkin work across all pairs.
+	FM remarks.FMVerdict
 }
 
 func (v Verdict) String() string {
@@ -108,7 +115,7 @@ func New(ctx *deps.Context, plan *decomp.Plan, info *region.Info) *Analyzer {
 func (a *Analyzer) Between(X, Y []ir.Stmt, outer []*ir.Loop, carrier *ir.Loop) Verdict {
 	accX := a.collectGroup(X, outer, carrier)
 	accY := a.collectGroup(Y, outer, carrier)
-	out := Verdict{Class: ClassNone, Exact: true}
+	out := Verdict{Class: ClassNone, Exact: true, FM: remarks.FMVerdict{Exact: true}}
 	for _, x := range accX {
 		for _, y := range accY {
 			if x.name != y.name || (!x.write && !y.write) {
@@ -131,11 +138,16 @@ func combine(a, b Verdict) Verdict {
 		WaitLower: a.WaitLower || b.WaitLower,
 		WaitUpper: a.WaitUpper || b.WaitUpper,
 		Pairs:     append(append([]string(nil), a.Pairs...), b.Pairs...),
+		Deps:      append(append([]remarks.Dependence(nil), a.Deps...), b.Deps...),
 	}
 	if b.Class > a.Class {
 		out.Class = b.Class
 	} else {
 		out.Class = a.Class
 	}
+	out.FM = a.FM
+	out.FM.Add(b.FM)
+	out.FM.Feasible = a.FM.Feasible || b.FM.Feasible
+	out.FM.Exact = a.FM.Exact && b.FM.Exact
 	return out
 }

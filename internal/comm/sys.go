@@ -6,12 +6,55 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/ir"
 	"repro/internal/linear"
+	"repro/internal/remarks"
 )
 
 // bsVar is the shared symbolic block size. A single symbol suffices
 // because two placements are only compared when their spaces have equal
 // extents (same key), in which case they share one block size.
 var bsVar = linear.Sym("$B")
+
+// depKind names the dependence kind of the ordered pair (x before y).
+func depKind(x, y access) string {
+	switch {
+	case x.write && y.write:
+		return "output"
+	case x.write:
+		return "flow"
+	default:
+		return "anti"
+	}
+}
+
+// depAccess renders one side of a dependence for the remark layer.
+func depAccess(a access) remarks.Access {
+	kind := "read"
+	if a.write {
+		kind = "write"
+	}
+	what := a.name
+	if a.ref != nil {
+		what = ir.ExprString(a.ref)
+	}
+	var pos ir.Pos
+	if a.ref != nil {
+		pos = a.ref.Pos()
+	} else if a.stmt != nil {
+		pos = a.stmt.Pos()
+	}
+	return remarks.Access{Kind: kind, Ref: what, Mode: a.mode.String(),
+		Line: pos.Line, Col: pos.Col}
+}
+
+// newDep starts a dependence record for the pair.
+func newDep(x, y access) remarks.Dependence {
+	return remarks.Dependence{
+		Var:  x.name,
+		Kind: depKind(x, y),
+		Src:  depAccess(x),
+		Dst:  depAccess(y),
+	}
+}
 
 // classifyPair decides the synchronization class induced by one ordered
 // access pair (x executes in group X, then y in group Y).
@@ -21,7 +64,13 @@ func (a *Analyzer) classifyPair(x, y access, outer []*ir.Loop, carrier *ir.Loop)
 
 	// Both sides master-executed: same processor, no communication.
 	if !parX && !parY && !x.replicatedSide() && !y.replicatedSide() {
-		return Verdict{Class: ClassNone, Exact: true}
+		dep := newDep(x, y)
+		dep.Class = remarks.PrimNone
+		dep.Note = "both sides master-executed"
+		dep.FM = remarks.FMVerdict{Feasible: false, Exact: true}
+		return Verdict{Class: ClassNone, Exact: true,
+			Deps: []remarks.Dependence{dep},
+			FM:   dep.FM}
 	}
 
 	if a.Plan.Kind == decomp.Cyclic {
@@ -59,35 +108,73 @@ func (a *Analyzer) classifyPair(x, y access, outer []*ir.Loop, carrier *ir.Loop)
 		return barrierVerdict(x, y, "non-affine subscripts")
 	}
 
+	// fm accumulates the solver work this pair costs, across every system
+	// tried; it becomes the pair's remark evidence.
+	var fm remarks.FMVerdict
+	fm.Exact = true
 	bs := linear.VarExpr(bsVar)
 	test := func(extra ...linear.Constraint) bool {
 		s := b.sys.Copy()
 		s.Add(extra...)
-		return s.Solve().MayHold()
+		in := s.SolveDetailed()
+		fm.Systems++
+		fm.VarsEliminated += in.VarsEliminated
+		fm.IneqsGenerated += in.IneqsGenerated
+		fm.IneqsRetained += in.IneqsRetained
+		if in.Result == linear.Unknown {
+			fm.Exact = false
+		}
+		return in.Result.MayHold()
 	}
 	du := linear.VarExpr(u2).Sub(linear.VarExpr(u1))
 	up := test(linear.GE(du, bs))         // consumer block above producer
 	down := test(linear.GE(du.Neg(), bs)) // consumer block below producer
+	dep := newDep(x, y)
 	if !up && !down {
-		return Verdict{Class: ClassNone, Exact: true}
+		dep.Class = remarks.PrimNone
+		dep.FM = fm
+		return Verdict{Class: ClassNone, Exact: true,
+			Deps: []remarks.Dependence{dep}, FM: fm}
 	}
+	fm.Feasible = true
 	v := Verdict{Exact: true, WaitLower: up, WaitUpper: down}
 	v.Pairs = append(v.Pairs, fmt.Sprintf("%s: %s -> %s", x.name, describe(x), describe(y)))
+	dep.Rejected = append(dep.Rejected, remarks.Alternative{
+		Primitive: remarks.PrimNone,
+		Reason:    "communication across a block boundary is feasible"})
 
 	farUp := up && test(linear.GE(du, bs.Scale(2)))
 	farDown := down && test(linear.GE(du.Neg(), bs.Scale(2)))
 	if !farUp && !farDown {
 		v.Class = ClassNeighbor
+		dep.Class = remarks.PrimNeighbor
+		dep.FM = fm
+		v.Deps = []remarks.Dependence{dep}
+		v.FM = fm
 		return v
 	}
+	dep.Rejected = append(dep.Rejected, remarks.Alternative{
+		Primitive: remarks.PrimNeighbor,
+		Reason:    "communication spanning two or more blocks is feasible"})
 
-	if a.singleProducer(x, y, outer, carrier, up, down) {
+	if a.singleProducer(x, y, outer, carrier, up, down, &fm) {
 		v.Class = ClassCounter
 		v.WaitLower, v.WaitUpper = false, false
+		dep.Class = remarks.PrimCounter
+		dep.FM = fm
+		v.Deps = []remarks.Dependence{dep}
+		v.FM = fm
 		return v
 	}
+	dep.Rejected = append(dep.Rejected, remarks.Alternative{
+		Primitive: remarks.PrimCounter,
+		Reason:    "two distinct producers can feed one sync instance"})
 	v.Class = ClassBarrier
 	v.WaitLower, v.WaitUpper = false, false
+	dep.Class = remarks.PrimBarrier
+	dep.FM = fm
+	v.Deps = []remarks.Dependence{dep}
+	v.FM = fm
 	return v
 }
 
@@ -99,10 +186,22 @@ func (x access) replicatedSide() bool {
 }
 
 func barrierVerdict(x, y access, why string) Verdict {
+	dep := newDep(x, y)
+	dep.Class = remarks.PrimBarrier
+	dep.Note = why
+	dep.FM = remarks.FMVerdict{Feasible: true, Exact: false}
+	reason := "not provable: " + why
+	dep.Rejected = []remarks.Alternative{
+		{Primitive: remarks.PrimNone, Reason: reason},
+		{Primitive: remarks.PrimNeighbor, Reason: reason},
+		{Primitive: remarks.PrimCounter, Reason: reason},
+	}
 	return Verdict{
 		Class: ClassBarrier,
 		Exact: false,
 		Pairs: []string{fmt.Sprintf("%s: %s -> %s (%s)", x.name, describe(x), describe(y), why)},
+		Deps:  []remarks.Dependence{dep},
+		FM:    dep.FM,
 	}
 }
 
@@ -140,7 +239,7 @@ func (a *Analyzer) placementOf(acc access) (*decomp.Placement, bool) {
 // the X-side endpoint of a communicating pair within one synchronization
 // instance. If not, a counter with target 1 per instance replaces the
 // barrier (the paper's broadcast/counter case).
-func (a *Analyzer) singleProducer(x, y access, outer []*ir.Loop, carrier *ir.Loop, up, down bool) bool {
+func (a *Analyzer) singleProducer(x, y access, outer []*ir.Loop, carrier *ir.Loop, up, down bool, fm *remarks.FMVerdict) bool {
 	b := newBuilder(a, outer, carrier)
 	// Two full copies of the pair system sharing the symbols, the outer
 	// indices and BOTH carrier iterations: producer uniqueness is per
@@ -183,7 +282,15 @@ func (a *Analyzer) singleProducer(x, y access, outer []*ir.Loop, carrier *ir.Loo
 		for _, d2 := range dirs {
 			s := b.sys.Copy()
 			s.Add(d1(u1a, u2a), d2(u1b, u2b))
-			if s.Solve().MayHold() {
+			in := s.SolveDetailed()
+			fm.Systems++
+			fm.VarsEliminated += in.VarsEliminated
+			fm.IneqsGenerated += in.IneqsGenerated
+			fm.IneqsRetained += in.IneqsRetained
+			if in.Result == linear.Unknown {
+				fm.Exact = false
+			}
+			if in.Result.MayHold() {
 				return false
 			}
 		}
@@ -207,22 +314,55 @@ func (a *Analyzer) classifyCyclic(x, y access, outer []*ir.Loop, carrier *ir.Loo
 	if !b.equateSubscripts(x, y, "$x", "$y") {
 		return barrierVerdict(x, y, "non-affine subscripts")
 	}
+	var fm remarks.FMVerdict
+	fm.Exact = true
+	solve := func(s *linear.System) bool {
+		in := s.SolveDetailed()
+		fm.Systems++
+		fm.VarsEliminated += in.VarsEliminated
+		fm.IneqsGenerated += in.IneqsGenerated
+		fm.IneqsRetained += in.IneqsRetained
+		if in.Result == linear.Unknown {
+			fm.Exact = false
+		}
+		return in.Result.MayHold()
+	}
+	dep := newDep(x, y)
+	dep.Note = "cyclic distribution"
 	x1, ok1 := b.xexpr["$x"]
 	x2, ok2 := b.xexpr["$y"]
 	if ok1 && ok2 {
-		lt := b.sys.Copy().AddGE(x2.Sub(x1), linear.NewAffine(1)).Solve()
-		gt := b.sys.Copy().AddGE(x1.Sub(x2), linear.NewAffine(1)).Solve()
-		if !lt.MayHold() && !gt.MayHold() {
-			return Verdict{Class: ClassNone, Exact: true}
+		lt := solve(b.sys.Copy().AddGE(x2.Sub(x1), linear.NewAffine(1)))
+		gt := solve(b.sys.Copy().AddGE(x1.Sub(x2), linear.NewAffine(1)))
+		if !lt && !gt {
+			dep.Class = remarks.PrimNone
+			dep.FM = fm
+			return Verdict{Class: ClassNone, Exact: true,
+				Deps: []remarks.Dependence{dep}, FM: fm}
 		}
 	}
+	fm.Feasible = true
 	v := Verdict{Exact: true,
 		Pairs: []string{fmt.Sprintf("%s: %s -> %s (cyclic)", x.name, describe(x), describe(y))}}
+	dep.Rejected = append(dep.Rejected, remarks.Alternative{
+		Primitive: remarks.PrimNone,
+		Reason:    "distinct cyclic owners may communicate"})
+	dep.Rejected = append(dep.Rejected, remarks.Alternative{
+		Primitive: remarks.PrimNeighbor,
+		Reason:    "cyclic distribution has no block adjacency"})
 	if !parX && !x.modeIsReplicated() {
 		v.Class = ClassCounter
+		dep.Class = remarks.PrimCounter
 	} else {
 		v.Class = ClassBarrier
+		dep.Class = remarks.PrimBarrier
+		dep.Rejected = append(dep.Rejected, remarks.Alternative{
+			Primitive: remarks.PrimCounter,
+			Reason:    "multiple producers possible under cyclic distribution"})
 	}
+	dep.FM = fm
+	v.Deps = []remarks.Dependence{dep}
+	v.FM = fm
 	return v
 }
 

@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/compile"
@@ -24,10 +25,12 @@ import (
 	"repro/internal/exec"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/linear"
 	"repro/internal/lint"
 	"repro/internal/parallel"
 	"repro/internal/parser"
 	"repro/internal/region"
+	"repro/internal/remarks"
 	"repro/internal/syncopt"
 )
 
@@ -78,6 +81,9 @@ type Compiled struct {
 	// Baseline is the fork-join schedule (one barrier per parallel
 	// loop), for base-vs-optimized comparisons.
 	Baseline *syncopt.Schedule
+	// Costs is this compilation's analysis bill: wall time and
+	// Fourier-Motzkin solver work per pipeline phase.
+	Costs remarks.Costs
 
 	// Memoized per-compilation artifacts: the closure lowering (shared by
 	// every runner built from this compilation) and the certify verdicts
@@ -110,11 +116,48 @@ func CompileProgram(prog *ir.Program, opt Options) *Compiled {
 	if minParam <= 0 {
 		minParam = 1
 	}
-	ctx := deps.NewContext(prog, minParam)
-	par := parallel.Parallelize(ctx)
-	plan := decomp.Build(prog, opt.Decomp)
-	info := region.Classify(prog, plan.Wavefront)
-	an := comm.New(ctx, plan, info)
+	// Each phase is timed and its Fourier-Motzkin work attributed by
+	// diffing the solver's global counters around it; the per-compile
+	// bill lands on Compiled.Costs (and, cumulatively, on expvar).
+	var costs remarks.Costs
+	start := time.Now()
+	before := linear.Costs()
+	phase := func(name string, f func()) {
+		t0 := time.Now()
+		c0 := linear.Costs()
+		f()
+		costs.Phases = append(costs.Phases, remarks.Phase{
+			Name:      name,
+			Wall:      time.Since(t0),
+			FMSystems: linear.Costs().Sub(c0).Systems,
+		})
+	}
+
+	var ctx *deps.Context
+	var par *parallel.Result
+	var plan *decomp.Plan
+	var info *region.Info
+	var an *comm.Analyzer
+	var sched, base *syncopt.Schedule
+	phase("deps", func() { ctx = deps.NewContext(prog, minParam) })
+	phase("parallelize", func() { par = parallel.Parallelize(ctx) })
+	phase("decomp", func() { plan = decomp.Build(prog, opt.Decomp) })
+	phase("region", func() { info = region.Classify(prog, plan.Wavefront) })
+	phase("syncopt", func() {
+		an = comm.New(ctx, plan, info)
+		sched = syncopt.Build(an, opt.Sync)
+	})
+	phase("baseline", func() { base = syncopt.Build(an, syncopt.Options{Baseline: true}) })
+
+	delta := linear.Costs().Sub(before)
+	costs.Total = time.Since(start)
+	costs.FMSystems = delta.Systems
+	costs.VarsEliminated = delta.VarsEliminated
+	costs.IneqsGenerated = delta.IneqsGenerated
+	costs.Bailouts = delta.Bailouts
+	costs.Enumerations = delta.Enumerations
+	recordCompile(costs.Total)
+
 	opt.MinParam = minParam
 	return &Compiled{
 		Prog:         prog,
@@ -122,10 +165,18 @@ func CompileProgram(prog *ir.Program, opt Options) *Compiled {
 		Parallelized: par,
 		Plan:         plan,
 		Analyzer:     an,
-		Schedule:     syncopt.Build(an, opt.Sync),
-		Baseline:     syncopt.Build(an, syncopt.Options{Baseline: true}),
+		Schedule:     sched,
+		Baseline:     base,
+		Costs:        costs,
 	}
 }
+
+// Remarks returns the optimized schedule's optimization-remark set: one
+// remark per sync site, in the global site numbering.
+func (c *Compiled) Remarks() *remarks.Set { return c.Schedule.Remarks() }
+
+// BaselineRemarks returns the fork-join baseline schedule's remark set.
+func (c *Compiled) BaselineRemarks() *remarks.Set { return c.Baseline.Remarks() }
 
 // Exe returns the memoized closure lowering of the program. Every runner
 // built from this compilation with the (default) Closure backend shares

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/linear"
+)
+
+// Cumulative compile accounting, published under the "barrier_analysis"
+// expvar: total compiles, total compile wall time, and the solver's
+// process-wide cost counters. Publication is lazy (first compile) so
+// importing core has no expvar side effect, and guarded by a Once because
+// expvar.Publish panics on duplicate names.
+var (
+	compileCount  atomic.Int64
+	compileWallNS atomic.Int64
+	publishOnce   sync.Once
+)
+
+func recordCompile(wall time.Duration) {
+	compileCount.Add(1)
+	compileWallNS.Add(wall.Nanoseconds())
+	publishOnce.Do(func() {
+		expvar.Publish("barrier_analysis", expvar.Func(func() any {
+			c := linear.Costs()
+			return map[string]any{
+				"compiles":        compileCount.Load(),
+				"compile_wall_ns": compileWallNS.Load(),
+				"fm_systems":      c.Systems,
+				"vars_eliminated": c.VarsEliminated,
+				"ineqs_generated": c.IneqsGenerated,
+				"bailouts":        c.Bailouts,
+				"enumerations":    c.Enumerations,
+			}
+		}))
+	})
+}

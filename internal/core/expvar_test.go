@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"encoding/json"
+	"expvar"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAnalysisExpvar checks that compiling publishes the cumulative
+// barrier_analysis expvar and that its counters move with solver work:
+// compile-time cost is observable from any embedder's /debug/vars.
+func TestAnalysisExpvar(t *testing.T) {
+	read := func() map[string]int64 {
+		v := expvar.Get("barrier_analysis")
+		if v == nil {
+			return nil
+		}
+		var m map[string]int64
+		if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+			t.Fatalf("barrier_analysis is not a JSON object: %v", err)
+		}
+		return m
+	}
+
+	c, err := core.Compile(src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := read()
+	if before == nil {
+		t.Fatal("barrier_analysis expvar not published after a compile")
+	}
+	if before["compiles"] < 1 || before["fm_systems"] < 1 {
+		t.Fatalf("counters did not move: %v", before)
+	}
+	if c.Costs.FMSystems == 0 || c.Costs.Total <= 0 {
+		t.Fatalf("Compiled.Costs empty: %+v", c.Costs)
+	}
+	sys := int64(0)
+	for _, p := range c.Costs.Phases {
+		sys += p.FMSystems
+	}
+	if sys != c.Costs.FMSystems {
+		t.Errorf("phase FM systems sum %d != total %d", sys, c.Costs.FMSystems)
+	}
+
+	if _, err := core.Compile(src, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	after := read()
+	if after["compiles"] != before["compiles"]+1 {
+		t.Errorf("compiles %d -> %d, want +1", before["compiles"], after["compiles"])
+	}
+	if after["fm_systems"] < before["fm_systems"]+c.Costs.FMSystems {
+		t.Errorf("fm_systems %d -> %d, want at least +%d",
+			before["fm_systems"], after["fm_systems"], c.Costs.FMSystems)
+	}
+	if after["compile_wall_ns"] <= before["compile_wall_ns"] {
+		t.Errorf("compile_wall_ns did not advance: %d -> %d",
+			before["compile_wall_ns"], after["compile_wall_ns"])
+	}
+}

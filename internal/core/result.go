@@ -6,6 +6,7 @@ import (
 	"repro/internal/certify"
 	"repro/internal/exec"
 	"repro/internal/interp"
+	"repro/internal/remarks"
 )
 
 // Verdict is the static certifier's judgment of one schedule, attached to
@@ -61,6 +62,10 @@ type Result struct {
 	// Certify is the static verdict of the schedule this run executed
 	// (the baseline schedule's verdict for baseline runners).
 	Certify Verdict
+	// Costs is the compilation's analysis bill (phase wall times and
+	// Fourier-Motzkin solver work), copied from the Compiled so every
+	// result carries the compile-time cost alongside the run-time one.
+	Costs remarks.Costs
 }
 
 // Runner executes one compiled schedule. It embeds the executor's runner —
@@ -106,5 +111,29 @@ func (r *Runner) RunContextOn(ctx context.Context, st *interp.State) (*Result, e
 }
 
 func (r *Runner) wrap(res *exec.Result) *Result {
-	return &Result{Result: *res, Certify: r.c.verdictOf(r.sched)}
+	return &Result{Result: *res, Certify: r.c.verdictOf(r.sched), Costs: r.c.Costs}
+}
+
+// Remarks returns the remark set of the schedule this runner executes (the
+// baseline schedule's remarks for baseline runners), in the same site
+// numbering the runner's watchdog, stats and sabotage flags use.
+func (r *Runner) Remarks() *remarks.Set {
+	if r.sched == schedBaseline {
+		return r.c.BaselineRemarks()
+	}
+	return r.c.Remarks()
+}
+
+// SyncReport joins this runner's static remarks with one run's per-site
+// runtime attribution into the ranked "cost of kept barriers" report.
+// Wait-time columns are populated only when the run was traced
+// (exec.Config.Trace); otherwise ranking falls back to dynamic counts.
+func (r *Runner) SyncReport(res *Result) *remarks.Report {
+	var rt map[int]remarks.SiteRuntime
+	traced := false
+	if res != nil {
+		rt = r.Runner.SiteRuntimes(&res.Result)
+		traced = res.Trace != nil
+	}
+	return remarks.BuildReport(r.Remarks(), rt, r.Workers(), traced)
 }

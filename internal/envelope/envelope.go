@@ -30,6 +30,7 @@ const (
 	ToolCertify = "barrierc-certify"
 	ToolRun     = "spmdrun"
 	ToolBench   = "benchtab-exec"
+	ToolRemarks = "barrierc-remarks"
 )
 
 // Envelope is the wrapper around one tool artifact.

@@ -228,6 +228,12 @@ func NewRunner(prog *ir.Program, sched *syncopt.Schedule, plan *decomp.Plan, cfg
 // Backend returns the statement-execution engine this runner uses.
 func (r *Runner) Backend() Backend { return r.cfg.Backend }
 
+// Workers returns the configured team size.
+func (r *Runner) Workers() int { return r.cfg.Workers }
+
+// Traced reports whether runs record sync events (Config.Trace).
+func (r *Runner) Traced() bool { return r.cfg.Trace }
+
 // NumSyncSites returns the number of scheduled sync sites (region
 // boundaries), the domain of Config.SabotageEdge.
 func (r *Runner) NumSyncSites() int { return r.nSites }

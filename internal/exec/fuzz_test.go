@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/interp"
+	"repro/internal/remarks"
 	"repro/internal/syncopt"
 )
 
@@ -187,6 +188,33 @@ func TestFuzzPipelineEquivalence(t *testing.T) {
 			if _, viols := an.Check(cs.DropSite(id)); len(viols) == 0 {
 				t.Fatalf("seed %d: dropping sync site %d (%s) still certifies\n--- source ---\n%s\n--- schedule ---\n%s",
 					seed, id, kind, src, c.Schedule.Dump())
+			}
+		}
+		// Remark coverage invariant: every emitted sync site has exactly
+		// one remark, under the same global id and with the primitive the
+		// schedule actually carries — for the optimized and the baseline
+		// schedule alike.
+		for _, sch := range []struct {
+			name  string
+			set   *remarks.Set
+			kinds []certify.Kind
+		}{
+			{"opt", c.Remarks(), cs.Kinds()},
+			{"base", c.BaselineRemarks(), core.ToCertify(c.Baseline).Kinds()},
+		} {
+			if len(sch.set.Remarks) != len(sch.kinds) {
+				t.Fatalf("seed %d: %s schedule has %d sync sites but %d remarks\n--- source ---\n%s",
+					seed, sch.name, len(sch.kinds), len(sch.set.Remarks), src)
+			}
+			for i, r := range sch.set.Remarks {
+				if r.Site != i+1 {
+					t.Fatalf("seed %d: %s remark %d carries site id %d\n--- source ---\n%s",
+						seed, sch.name, i, r.Site, src)
+				}
+				if r.Primitive != sch.kinds[i].String() {
+					t.Fatalf("seed %d: %s site %d remark says %s, schedule has %s\n--- source ---\n%s",
+						seed, sch.name, r.Site, r.Primitive, sch.kinds[i], src)
+				}
 			}
 		}
 		params := map[string]int64{"N": int64(16 + g.rng.Intn(40)), "T": int64(1 + g.rng.Intn(4))}

@@ -1,0 +1,53 @@
+package linear
+
+import "sync/atomic"
+
+// Process-wide solver cost counters, accumulated atomically by every
+// solve/enumeration. They are monotonic; clients snapshot before and after
+// a compile phase and diff (CostSnapshot.Sub) to attribute work. Per-solve
+// accounting for remark evidence uses SolveDetailed instead — deltas of
+// these globals would be racy under concurrent compiles.
+var (
+	costSystems  atomic.Int64
+	costVarsElim atomic.Int64
+	costIneqsGen atomic.Int64
+	costBailouts atomic.Int64
+	costEnums    atomic.Int64
+)
+
+// CostSnapshot is a point-in-time reading of the solver's cumulative work.
+type CostSnapshot struct {
+	// Systems counts feasibility solves (Solve/SolveDetailed/SolveNoSubst
+	// and Project runs).
+	Systems int64 `json:"systems"`
+	// VarsEliminated counts FM elimination steps; IneqsGenerated counts
+	// inequalities produced by lower×upper pairings.
+	VarsEliminated int64 `json:"vars_eliminated"`
+	IneqsGenerated int64 `json:"ineqs_generated"`
+	// Bailouts counts solves that hit a resource guard (Result Unknown).
+	Bailouts int64 `json:"bailouts"`
+	// Enumerations counts bounded integer-point enumeration fallbacks.
+	Enumerations int64 `json:"enumerations"`
+}
+
+// Costs returns the current cumulative counters.
+func Costs() CostSnapshot {
+	return CostSnapshot{
+		Systems:        costSystems.Load(),
+		VarsEliminated: costVarsElim.Load(),
+		IneqsGenerated: costIneqsGen.Load(),
+		Bailouts:       costBailouts.Load(),
+		Enumerations:   costEnums.Load(),
+	}
+}
+
+// Sub returns c - o, the work done between two snapshots.
+func (c CostSnapshot) Sub(o CostSnapshot) CostSnapshot {
+	return CostSnapshot{
+		Systems:        c.Systems - o.Systems,
+		VarsEliminated: c.VarsEliminated - o.VarsEliminated,
+		IneqsGenerated: c.IneqsGenerated - o.IneqsGenerated,
+		Bailouts:       c.Bailouts - o.Bailouts,
+		Enumerations:   c.Enumerations - o.Enumerations,
+	}
+}

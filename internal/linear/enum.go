@@ -64,6 +64,7 @@ const (
 // constraint of s. On EnumPoint the returned assignment covers every
 // variable of s.
 func (s *System) Enumerate(opts EnumOptions) (map[Var]int64, EnumResult) {
+	costEnums.Add(1)
 	if opts.Budget <= 0 {
 		opts.Budget = defaultEnumBudget
 	}

@@ -55,6 +55,21 @@ func addAffChecked(a, b Affine) Affine {
 	return r
 }
 
+// SolveInfo is one solve's accounting: the verdict plus how much
+// elimination work it took. It feeds the optimization remarks' per-pair
+// Fourier-Motzkin evidence.
+type SolveInfo struct {
+	Result Result
+	// VarsEliminated counts FM elimination steps (one per variable
+	// removed).
+	VarsEliminated int64
+	// IneqsGenerated counts inequalities produced by lower×upper
+	// pairings; IneqsRetained counts constraints still standing when the
+	// solve terminated.
+	IneqsGenerated int64
+	IneqsRetained  int64
+}
+
 // Solve decides feasibility of the system over the integers using
 // Fourier-Motzkin elimination with Gaussian pre-substitution of unit-
 // coefficient equalities and integer (GCD) tightening of inequalities.
@@ -64,25 +79,46 @@ func addAffChecked(a, b Affine) Affine {
 // Unknown means the solver hit a resource guard. Both are treated as
 // "communication may occur" by clients, which is the sound direction.
 func (s *System) Solve() (res Result) {
-	return s.solve(true)
+	var info SolveInfo
+	s.solve(true, &info)
+	return info.Result
+}
+
+// SolveDetailed is Solve with per-solve cost accounting, for the
+// optimization-remarks layer.
+func (s *System) SolveDetailed() SolveInfo {
+	var info SolveInfo
+	s.solve(true, &info)
+	return info
 }
 
 // SolveNoSubst is Solve with Gaussian equality pre-substitution disabled;
 // it exists for the ablation benchmark (DESIGN.md A1).
 func (s *System) SolveNoSubst() (res Result) {
-	return s.solve(false)
+	var info SolveInfo
+	s.solve(false, &info)
+	return info.Result
 }
 
-func (s *System) solve(subst bool) (res Result) {
+func (s *System) solve(subst bool, info *SolveInfo) {
 	defer func() {
 		if r := recover(); r != nil {
-			if _, ok := r.(canceled); ok {
-				res = Unknown
-				return
+			if _, ok := r.(canceled); !ok {
+				panic(r)
 			}
-			panic(r)
+			info.Result = Unknown
+		}
+		costSystems.Add(1)
+		costVarsElim.Add(info.VarsEliminated)
+		costIneqsGen.Add(info.IneqsGenerated)
+		if info.Result == Unknown {
+			costBailouts.Add(1)
 		}
 	}()
+	info.Result = s.solveBody(subst, info)
+}
+
+func (s *System) solveBody(subst bool, info *SolveInfo) Result {
 
 	work, ok := normalizeAll(s.Cons)
 	if !ok {
@@ -119,13 +155,16 @@ func (s *System) solve(subst bool) (res Result) {
 		if !found {
 			// Only constant constraints remain; normalizeAll
 			// verified them all.
+			info.IneqsRetained = int64(len(ineqs))
 			return Feasible
 		}
 		steps++
 		if steps > maxElimSteps || len(ineqs) > maxConstraints {
+			info.IneqsRetained = int64(len(ineqs))
 			return Unknown
 		}
-		ineqs, ok = eliminate(ineqs, v)
+		info.VarsEliminated++
+		ineqs, ok = eliminate(ineqs, v, info)
 		if !ok {
 			return Infeasible
 		}
@@ -175,6 +214,10 @@ func normalizeAll(cons []Constraint) ([]Constraint, bool) {
 // substituteEqualities repeatedly finds an equality with a +/-1 coefficient
 // and substitutes it through the system (Gaussian elimination step). This
 // keeps coefficients small and dramatically reduces FM blowup.
+//
+// The choice of equality (first by index) and variable (varLess order) is
+// deterministic: solve-cost accounting flows into golden-tested remark
+// output, so map-iteration order must not leak into the pivot choice.
 func substituteEqualities(cons []Constraint) ([]Constraint, bool) {
 	for {
 		idx, v := -1, Var{}
@@ -182,8 +225,8 @@ func substituteEqualities(cons []Constraint) ([]Constraint, bool) {
 			if c.Op != OpEQ {
 				continue
 			}
-			for tv, tc := range c.Expr.terms {
-				if tc == 1 || tc == -1 {
+			for _, tv := range c.Expr.Vars() {
+				if tc := c.Expr.Coeff(tv); tc == 1 || tc == -1 {
 					idx, v = i, tv
 					break
 				}
@@ -312,9 +355,9 @@ func pickVar(cons []Constraint) (Var, bool) {
 }
 
 // eliminate removes v from the system by pairing every lower bound with
-// every upper bound (Fourier-Motzkin step). Returns false on a detected
-// contradiction.
-func eliminate(cons []Constraint, v Var) ([]Constraint, bool) {
+// every upper bound (Fourier-Motzkin step), tallying generated
+// inequalities into info. Returns false on a detected contradiction.
+func eliminate(cons []Constraint, v Var, info *SolveInfo) ([]Constraint, bool) {
 	var lower, upper, rest []Constraint
 	for _, c := range cons {
 		k := c.Expr.Coeff(v)
@@ -348,6 +391,7 @@ func eliminate(cons []Constraint, v Var) ([]Constraint, bool) {
 				}
 				continue
 			}
+			info.IneqsGenerated++
 			out = append(out, Constraint{Expr: ne, Op: OpGE})
 		}
 	}
@@ -419,7 +463,8 @@ func (s *System) Project(drop func(Var) bool) (proj *System, ok bool) {
 		if steps > maxElimSteps || len(ineqs) > maxConstraints {
 			return nil, false
 		}
-		ineqs, good = eliminate(ineqs, target)
+		var scratch SolveInfo
+		ineqs, good = eliminate(ineqs, target, &scratch)
 		if !good {
 			return nil, false
 		}

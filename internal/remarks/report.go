@@ -1,0 +1,115 @@
+// The static↔runtime join: remarks (why each sync site exists) crossed
+// with per-site runtime wait attribution (what each site costs), ranked by
+// total observed wait so the most expensive kept synchronization — and the
+// compile-time decision behind it — tops the table.
+package remarks
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SiteRuntime is the runtime side of the join for one sync site, merged
+// across event kinds. The executor produces one per site that ran; the
+// report does not care which layer (stats counters, trace summaries) each
+// field came from.
+type SiteRuntime struct {
+	// Dynamic operation counts from the runtime stats layer.
+	Barriers      int64 `json:"barriers,omitempty"`
+	CounterIncrs  int64 `json:"counter_incrs,omitempty"`
+	CounterWaits  int64 `json:"counter_waits,omitempty"`
+	NeighborWaits int64 `json:"neighbor_waits,omitempty"`
+	// Wait-time distribution from the sync-event trace (zero when tracing
+	// was off or the site never waited).
+	Waits     int64         `json:"waits,omitempty"`
+	TotalWait time.Duration `json:"total_wait_ns,omitempty"`
+	P50       time.Duration `json:"p50_ns,omitempty"`
+	P99       time.Duration `json:"p99_ns,omitempty"`
+	Max       time.Duration `json:"max_ns,omitempty"`
+}
+
+// Ops is the total dynamic sync-operation count at the site.
+func (s SiteRuntime) Ops() int64 {
+	return s.Barriers + s.CounterIncrs + s.CounterWaits + s.NeighborWaits
+}
+
+// ReportRow is one kept sync site: the static remark joined to its
+// runtime cost.
+type ReportRow struct {
+	Remark  Remark      `json:"remark"`
+	Runtime SiteRuntime `json:"runtime"`
+}
+
+// Report is the ranked "cost of kept barriers" table: every sync site
+// that retains runtime synchronization, ordered most expensive first.
+type Report struct {
+	Program string `json:"program"`
+	Workers int    `json:"workers"`
+	// Rows holds the kept sites ranked by total observed wait (ties by
+	// dynamic op count, then site id).
+	Rows []ReportRow `json:"rows"`
+	// Eliminated counts the sites the optimizer removed entirely — the
+	// rows that do NOT appear above.
+	Eliminated int `json:"eliminated"`
+	// Traced is false when the run had no sync-event trace; wait columns
+	// are then all zero and ranking falls back to dynamic counts.
+	Traced bool `json:"traced"`
+}
+
+// BuildReport joins a remark set with per-site runtime attribution
+// (1-based site ids, as in spmdrt.StatsSnapshot.PerSite) into the ranked
+// report. Sites with no runtime entry still appear (a kept site that never
+// executed is itself a finding), with zero cost.
+func BuildReport(set *Set, rt map[int]SiteRuntime, workers int, traced bool) *Report {
+	rep := &Report{Workers: workers, Traced: traced}
+	if set == nil {
+		return rep
+	}
+	rep.Program = set.Program
+	for _, r := range set.Remarks {
+		if r.Eliminated() {
+			rep.Eliminated++
+			continue
+		}
+		rep.Rows = append(rep.Rows, ReportRow{Remark: r, Runtime: rt[r.Site]})
+	}
+	sort.SliceStable(rep.Rows, func(i, j int) bool {
+		a, b := rep.Rows[i], rep.Rows[j]
+		if a.Runtime.TotalWait != b.Runtime.TotalWait {
+			return a.Runtime.TotalWait > b.Runtime.TotalWait
+		}
+		if a.Runtime.Ops() != b.Runtime.Ops() {
+			return a.Runtime.Ops() > b.Runtime.Ops()
+		}
+		return a.Remark.Site < b.Remark.Site
+	})
+	return rep
+}
+
+// Render prints the report as the human table `spmdrun -report` emits.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sync report: %s  P=%d  kept=%d eliminated=%d\n",
+		r.Program, r.Workers, len(r.Rows), r.Eliminated)
+	if !r.Traced {
+		sb.WriteString("(no trace: wait columns unavailable; ranked by dynamic count)\n")
+	}
+	if len(r.Rows) == 0 {
+		sb.WriteString("no kept sync sites\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%-5s %-9s %-8s %8s %12s %10s %10s  %s\n",
+		"site", "prim", "pos", "ops", "total_wait", "p50", "p99", "why kept")
+	for _, row := range r.Rows {
+		rt := row.Runtime
+		fmt.Fprintf(&sb, "%-5d %-9s %-8s %8d %12s %10s %10s  %s\n",
+			row.Remark.Site, row.Remark.Primitive, row.Remark.PosString(),
+			rt.Ops(), rt.TotalWait, rt.P50, rt.P99, row.Remark.Why())
+		for _, a := range row.Remark.Rejected {
+			fmt.Fprintf(&sb, "%-5s rejected %s: %s\n", "", a.Primitive, a.Reason)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,73 @@
+package suite
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/remarks"
+	"repro/internal/syncopt"
+)
+
+// AnalysisCost is one kernel's compile-time analysis bill.
+type AnalysisCost struct {
+	Kernel Kernel
+	Costs  remarks.Costs
+}
+
+// MeasureAnalysisCosts compiles every suite kernel (no execution) and
+// collects each compile's phase wall times and Fourier-Motzkin solver
+// work — the input of Table R.
+func MeasureAnalysisCosts(sync syncopt.Options) ([]AnalysisCost, error) {
+	var out []AnalysisCost
+	for _, k := range Kernels() {
+		c, err := core.Compile(k.Source, core.Options{Sync: sync})
+		if err != nil {
+			return nil, fmt.Errorf("%s: compile: %w", k.Name, err)
+		}
+		out = append(out, AnalysisCost{Kernel: k, Costs: c.Costs})
+	}
+	return out, nil
+}
+
+// TableR prints the analysis-cost table: what each kernel's compile cost,
+// in solver work and wall time, with the solver-heavy phase highlighted.
+// The paper's optimization is only free at runtime; this table prices the
+// compile-time side so regressions in analysis complexity are visible.
+func TableR(w io.Writer, rows []AnalysisCost) {
+	fmt.Fprintln(w, "Table R: analysis cost per kernel (compile-time)")
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %9s %7s %12s  %s\n",
+		"program", "fm.sys", "vars.elim", "ineqs.gen", "bailouts", "enums", "wall", "dominant phase")
+	var tot remarks.Costs
+	for _, r := range rows {
+		c := r.Costs
+		fmt.Fprintf(w, "%-14s %10d %10d %10d %9d %7d %12s  %s\n",
+			r.Kernel.Name, c.FMSystems, c.VarsEliminated, c.IneqsGenerated,
+			c.Bailouts, c.Enumerations, c.Total.Round(time.Microsecond), dominantPhase(c))
+		tot.FMSystems += c.FMSystems
+		tot.VarsEliminated += c.VarsEliminated
+		tot.IneqsGenerated += c.IneqsGenerated
+		tot.Bailouts += c.Bailouts
+		tot.Enumerations += c.Enumerations
+		tot.Total += c.Total
+	}
+	fmt.Fprintf(w, "%-14s %10d %10d %10d %9d %7d %12s\n",
+		"TOTAL", tot.FMSystems, tot.VarsEliminated, tot.IneqsGenerated,
+		tot.Bailouts, tot.Enumerations, tot.Total.Round(time.Microsecond))
+}
+
+// dominantPhase names the phase with the most FM systems, falling back to
+// the one with the longest wall time when no phase touched the solver.
+func dominantPhase(c remarks.Costs) string {
+	best, bestSys, bestWall := "", int64(-1), time.Duration(-1)
+	for _, p := range c.Phases {
+		if p.FMSystems > bestSys || (p.FMSystems == bestSys && p.Wall > bestWall) {
+			best, bestSys, bestWall = p.Name, p.FMSystems, p.Wall
+		}
+	}
+	if best == "" {
+		return "-"
+	}
+	return fmt.Sprintf("%s (%d sys, %s)", best, bestSys, bestWall.Round(time.Microsecond))
+}

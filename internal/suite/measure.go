@@ -9,6 +9,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/ir"
 	"repro/internal/region"
+	"repro/internal/remarks"
 	"repro/internal/spmdrt"
 	"repro/internal/syncopt"
 	"repro/internal/synctrace"
@@ -43,6 +44,11 @@ type Metrics struct {
 
 	// Correctness cross-check against the sequential interpreter.
 	MaxDiff float64
+
+	// Costs is the compile's analysis bill (phase wall times, FM solver
+	// work) — Table R material, carried here so measured kernels keep
+	// their compile-time price next to the run-time one.
+	Costs remarks.Costs
 }
 
 // BarrierReduction returns the fraction of dynamic barriers eliminated,
@@ -102,6 +108,7 @@ func Measure(k Kernel, opt MeasureOptions) (Metrics, error) {
 	}
 	m.StaticBase = c.Baseline.Static()
 	m.StaticOpt = c.Schedule.Static()
+	m.Costs = c.Costs
 
 	ref, err := c.RunSequential(params)
 	if err != nil {

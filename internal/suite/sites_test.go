@@ -1,0 +1,136 @@
+package suite
+
+import (
+	"testing"
+
+	"repro/internal/certify"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/remarks"
+)
+
+// TestSiteNumberingAgreement pins the cross-layer site-id contract for
+// every suite kernel: the optimizer's remarks, the executor's sync sites
+// (the watchdog/SabotageEdge/StatsSnapshot.PerSite numbering), and the
+// certifier's Sites/DropSite indexing must all describe the same boundary
+// under the same 1-based id, with the same primitive. A sanitized run then
+// checks the runtime side: per-site dynamic counts land only on sites the
+// remarks say were kept, with the event kind the remark's primitive
+// predicts.
+func TestSiteNumberingAgreement(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			c, err := core.Compile(k.Source, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runner, err := c.NewRunner(exec.Config{
+				Workers: 4, Params: k.Params, Mode: exec.SPMD, Sanitize: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			set := c.Remarks()
+			n := runner.NumSyncSites()
+			if len(set.Remarks) != n {
+				t.Fatalf("remarks: %d, executor sync sites: %d", len(set.Remarks), n)
+			}
+			classes := runner.SyncSiteClasses()
+			cs := core.ToCertify(c.Schedule)
+			kinds := cs.Kinds()
+			if len(kinds) != n {
+				t.Fatalf("certifier sites: %d, executor sync sites: %d", len(kinds), n)
+			}
+			for i, r := range set.Remarks {
+				if r.Site != i+1 {
+					t.Errorf("remark %d carries site id %d", i, r.Site)
+				}
+				if r.Primitive != classes[i].String() {
+					t.Errorf("site %d: remark says %s, executor schedules %s",
+						r.Site, r.Primitive, classes[i])
+				}
+				if r.Primitive != kinds[i].String() {
+					t.Errorf("site %d: remark says %s, certifier sees %s",
+						r.Site, r.Primitive, kinds[i])
+				}
+			}
+
+			// DropSite must demote exactly the boundary the remark id names.
+			for i := range kinds {
+				dropped := cs.DropSite(i).Kinds()
+				for j, kd := range dropped {
+					want := kinds[j]
+					if j == i {
+						want = certify.KindNone
+					}
+					if kd != want {
+						t.Errorf("DropSite(%d): site %d is %s, want %s", i, j+1, kd, want)
+					}
+				}
+			}
+
+			// Runtime: dynamic per-site counts attribute only to in-range
+			// sites, never to eliminated ones, and with the event kind the
+			// remark's primitive predicts. (Ids beyond n are runtime
+			// pseudo-sites — reductions, broadcasts — with no remark.)
+			res, err := runner.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Sanitizer == nil || !res.Sanitizer.Clean() {
+				t.Fatalf("sanitizer: %v", res.Sanitizer)
+			}
+			for id, sc := range res.Stats.PerSite {
+				if id < 1 {
+					t.Errorf("per-site counts for invalid site id %d", id)
+					continue
+				}
+				if id > n {
+					continue
+				}
+				r := set.BySite(id)
+				if r.Eliminated() {
+					t.Errorf("site %d eliminated by the optimizer but executed %+v", id, sc)
+					continue
+				}
+				switch r.Primitive {
+				case remarks.PrimBarrier:
+					if sc.CounterIncrs+sc.CounterWaits+sc.NeighborWaits != 0 {
+						t.Errorf("barrier site %d executed non-barrier events %+v", id, sc)
+					}
+				case remarks.PrimCounter:
+					if sc.Barriers+sc.NeighborWaits != 0 {
+						t.Errorf("counter site %d executed non-counter events %+v", id, sc)
+					}
+				case remarks.PrimNeighbor:
+					if sc.Barriers+sc.CounterIncrs+sc.CounterWaits != 0 {
+						t.Errorf("neighbor site %d executed non-neighbor events %+v", id, sc)
+					}
+				}
+			}
+
+			// Baseline remarks must carry the baseline runner's numbering
+			// and real positions (the satellite fix: the fork-join join
+			// barrier is a first-class site, not an anonymous reason).
+			bset := c.BaselineRemarks()
+			brunner, err := c.NewBaselineRunner(exec.Config{Workers: 4, Params: k.Params})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(bset.Remarks) != brunner.NumSyncSites() {
+				t.Fatalf("baseline remarks: %d, baseline sync sites: %d",
+					len(bset.Remarks), brunner.NumSyncSites())
+			}
+			for i, r := range bset.Remarks {
+				if r.Site != i+1 {
+					t.Errorf("baseline remark %d carries site id %d", i, r.Site)
+				}
+				if r.Primitive == remarks.PrimBarrier && (r.Line == 0 || r.Col == 0) {
+					t.Errorf("baseline barrier site %d has no source position", r.Site)
+				}
+			}
+		})
+	}
+}

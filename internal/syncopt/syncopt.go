@@ -25,14 +25,27 @@ import (
 	"repro/internal/comm"
 	"repro/internal/ir"
 	"repro/internal/region"
+	"repro/internal/remarks"
 )
 
-// Sync is the synchronization required at one region boundary.
+// Sync is the synchronization required at one region boundary, with the
+// full provenance of the decision (the remark layer's per-site record).
 type Sync struct {
 	Class                comm.Class
 	WaitLower, WaitUpper bool
-	// Reasons records the access pairs that forced this class.
-	Reasons []string
+	// Deps records the typed access-pair dependences that forced this
+	// class, each with positions, FM evidence and a per-pair rejection
+	// ladder.
+	Deps []remarks.Dependence
+	// Rejected records boundary-level alternatives tried beyond the
+	// per-pair ladders (e.g. a counter sufficient for direct flows that
+	// cannot order earlier-group flows).
+	Rejected []remarks.Alternative
+	// Note explains decisions not driven by an access pair (baseline
+	// join barriers, ablation forcing).
+	Note string
+	// FM aggregates the Fourier-Motzkin evidence across Deps.
+	FM remarks.FMVerdict
 }
 
 // covers reports whether this sync, sitting at one of the boundaries a
@@ -80,7 +93,16 @@ func promote(direct, earlier comm.Verdict) Sync {
 		(direct.Class == comm.ClassNone || direct.Class == comm.ClassNeighbor) {
 		return syncFrom(combined)
 	}
-	return Sync{Class: comm.ClassBarrier, Reasons: combined.Pairs}
+	s := Sync{Class: comm.ClassBarrier, Deps: combined.Deps, FM: combined.FM}
+	if combined.Class != comm.ClassBarrier {
+		// The cheaper primitive sufficient for the flows individually is
+		// posted only by the immediately-preceding group's workers, so it
+		// cannot order flows sourced in earlier groups.
+		s.Rejected = append(s.Rejected, remarks.Alternative{
+			Primitive: combined.Class.String(),
+			Reason:    "cannot order uncovered flows from earlier statement groups"})
+	}
+	return s
 }
 
 func (s Sync) String() string {
@@ -99,7 +121,8 @@ func (s Sync) String() string {
 }
 
 func syncFrom(v comm.Verdict) Sync {
-	return Sync{Class: v.Class, WaitLower: v.WaitLower, WaitUpper: v.WaitUpper, Reasons: v.Pairs}
+	return Sync{Class: v.Class, WaitLower: v.WaitLower, WaitUpper: v.WaitUpper,
+		Deps: v.Deps, FM: v.FM}
 }
 
 // Group is a run of region statements requiring no internal
@@ -191,7 +214,7 @@ func buildRegion(a *comm.Analyzer, sched *Schedule, loop *ir.Loop, body []ir.Stm
 		// Direct flows from the current group.
 		direct := a.Between(rs.Groups[cur].Stmts, []ir.Stmt{s}, inner, nil)
 		// Flows from earlier groups not covered by intervening syncs.
-		earlier := comm.Verdict{Class: comm.ClassNone, Exact: true}
+		earlier := comm.Verdict{Class: comm.ClassNone, Exact: true, FM: remarks.FMVerdict{Exact: true}}
 		for i := 0; i < cur; i++ {
 			v := a.Between(rs.Groups[i].Stmts, []ir.Stmt{s}, inner, nil)
 			if v.Class == comm.ClassNone {
@@ -208,7 +231,7 @@ func buildRegion(a *comm.Analyzer, sched *Schedule, loop *ir.Loop, body []ir.Stm
 		}
 		sync := promote(direct, earlier)
 		if opts.NoReplacement && sync.Class != comm.ClassNone {
-			sync = Sync{Class: comm.ClassBarrier, Reasons: sync.Reasons}
+			sync = forceBarrier(sync)
 		}
 		rs.After = append(rs.After, sync)
 		rs.Groups = append(rs.Groups, Group{Stmts: []ir.Stmt{s}})
@@ -222,8 +245,8 @@ func buildRegion(a *comm.Analyzer, sched *Schedule, loop *ir.Loop, body []ir.Stm
 	// count as direct for counter purposes.
 	if loop != nil && len(rs.Groups) > 0 {
 		n := len(rs.Groups)
-		direct := comm.Verdict{Class: comm.ClassNone, Exact: true}
-		earlier := comm.Verdict{Class: comm.ClassNone, Exact: true}
+		direct := comm.Verdict{Class: comm.ClassNone, Exact: true, FM: remarks.FMVerdict{Exact: true}}
+		earlier := comm.Verdict{Class: comm.ClassNone, Exact: true, FM: remarks.FMVerdict{Exact: true}}
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				v := a.Between(rs.Groups[i].Stmts, rs.Groups[j].Stmts, outer, loop)
@@ -254,7 +277,7 @@ func buildRegion(a *comm.Analyzer, sched *Schedule, loop *ir.Loop, body []ir.Stm
 		}
 		sync := promote(direct, earlier)
 		if opts.NoReplacement && sync.Class != comm.ClassNone {
-			sync = Sync{Class: comm.ClassBarrier, Reasons: sync.Reasons}
+			sync = forceBarrier(sync)
 		}
 		rs.After[n-1] = sync
 	}
@@ -268,7 +291,7 @@ func buildBaseline(sched *Schedule, rs *RegionSched, body []ir.Stmt) {
 		rs.Groups = append(rs.Groups, Group{Stmts: []ir.Stmt{s}})
 		if sched.Modes[s] == region.ModeParallel {
 			rs.After = append(rs.After, Sync{Class: comm.ClassBarrier,
-				Reasons: []string{"baseline fork-join join barrier"}})
+				Note: "baseline fork-join join barrier"})
 		} else {
 			rs.After = append(rs.After, Sync{Class: comm.ClassNone})
 		}
@@ -296,10 +319,29 @@ func combineV(a, b comm.Verdict) comm.Verdict {
 		WaitLower: a.WaitLower || b.WaitLower,
 		WaitUpper: a.WaitUpper || b.WaitUpper,
 		Pairs:     append(append([]string(nil), a.Pairs...), b.Pairs...),
+		Deps:      append(append([]remarks.Dependence(nil), a.Deps...), b.Deps...),
 	}
 	out.Class = a.Class
 	if b.Class > out.Class {
 		out.Class = b.Class
+	}
+	out.FM = a.FM
+	out.FM.Add(b.FM)
+	out.FM.Feasible = a.FM.Feasible || b.FM.Feasible
+	out.FM.Exact = a.FM.Exact && b.FM.Exact
+	return out
+}
+
+// forceBarrier is the -noreplace ablation: a cheaper chosen primitive is
+// replaced by a barrier, recording what the optimizer would have used.
+func forceBarrier(s Sync) Sync {
+	out := Sync{Class: comm.ClassBarrier, Deps: s.Deps, FM: s.FM, Note: s.Note}
+	if s.Class != comm.ClassBarrier {
+		out.Rejected = append(append([]remarks.Alternative(nil), s.Rejected...),
+			remarks.Alternative{Primitive: s.Class.String(),
+				Reason: "ablation: synchronization replacement disabled"})
+	} else {
+		out.Rejected = s.Rejected
 	}
 	return out
 }

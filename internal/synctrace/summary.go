@@ -90,6 +90,34 @@ func (s *Summary) SiteWait(id int32) time.Duration {
 	return t
 }
 
+// SiteWaitStats merges the per-kind entries of one site id into a single
+// wait distribution: counts and totals are summed across kinds, while the
+// quantiles (p50/p99) are taken from the dominant kind — the entry with
+// the largest total wait — since exact merged quantiles would need the raw
+// durations. ok is false when the site recorded no blocking waits.
+func (s *Summary) SiteWaitStats(id int32) (merged SiteSummary, ok bool) {
+	for _, ss := range s.Sites {
+		if ss.ID != id {
+			continue
+		}
+		if !ok {
+			// Sites is sorted by total wait descending, so the first
+			// entry seen for the id is its dominant kind.
+			merged, ok = ss, true
+			continue
+		}
+		merged.Count += ss.Count
+		merged.Total += ss.Total
+		if ss.Max > merged.Max {
+			merged.Max = ss.Max
+		}
+		if ss.Min < merged.Min {
+			merged.Min = ss.Min
+		}
+	}
+	return merged, ok
+}
+
 // TopSite returns the (site, kind) entry with the largest total wait, or
 // nil if no blocking events were recorded.
 func (s *Summary) TopSite() *SiteSummary {

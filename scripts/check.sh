@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full correctness battery: formatting, vet, build, race-detector tests,
-# DSL lint and independent schedule-certification smokes, a
+# DSL lint and independent schedule-certification smokes, the optimization
+# remarks golden + sync-report smokes, a
 # chaos + sanitizer + watchdog smoke of representative suite kernels,
 # trace-export and Table W smokes, the tracing overhead guard, the
 # closure/interp backend-parity gate, and the Table T throughput smoke
@@ -76,6 +77,37 @@ if [ "$rc" -ne 1 ]; then
     exit 1
 fi
 echo "-- all suite kernels certified; sabotaged schedule rejected"
+
+echo "== remarks smoke (barrierc -remarks) =="
+# The remarks envelope is a published, byte-stable artifact: the emitted
+# JSON must match the checked-in golden fixture exactly (the Go golden
+# test pins the same bytes; this is the CLI path), and every suite kernel
+# must render a remark per sync site without error.
+"$barrierc" -remarks -json -kernel jacobi2d | diff -u cmd/barrierc/testdata/jacobi2d_remarks.json - || {
+    echo "ERROR: barrierc -remarks -json drifted from golden (go test ./cmd/barrierc -run RemarksGolden -update)" >&2
+    exit 1
+}
+"$barrierc" -list | while read -r k _; do
+    "$barrierc" -remarks -kernel "$k" >/dev/null || {
+        echo "ERROR: kernel $k failed -remarks" >&2
+        exit 1
+    }
+done
+echo "-- remarks golden byte-exact; all suite kernels render"
+
+echo "== sync report smoke (spmdrun -report) =="
+# The static<->runtime join: jacobi2d at P=8 must produce the ranked
+# kept-barrier table with both neighbor sites present.
+report="$(go run ./cmd/spmdrun -kernel jacobi2d -p 8 -report 2>/dev/null)"
+echo "$report" | grep -q "sync report: jacobi2d" || {
+    echo "ERROR: spmdrun -report missing report header" >&2
+    exit 1
+}
+if [ "$(echo "$report" | grep -c "neighbor")" -lt 2 ]; then
+    echo "ERROR: spmdrun -report: expected 2 kept neighbor sites on jacobi2d" >&2
+    exit 1
+fi
+echo "-- jacobi2d sync report ranked $(echo "$report" | grep -c neighbor) kept sites"
 
 echo "== chaos + sanitizer smoke (spmdrun) =="
 # Small inputs: chaos adds microsecond delays around every sync, and the
