@@ -83,7 +83,13 @@ type runPayload struct {
 		NeighborWaits int64 `json:"neighbor_waits"`
 		Dispatches    int64 `json:"dispatches"`
 	} `json:"sync"`
-	Certified      bool     `json:"certified"`
+	Certified bool `json:"certified"`
+	// Pooled/TeamGeneration describe the team the run executed on;
+	// Attempts and SeqFallback are the retry policy's outcome.
+	Pooled         bool     `json:"pooled"`
+	TeamGeneration int64    `json:"team_generation,omitempty"`
+	Attempts       int      `json:"attempts,omitempty"`
+	SeqFallback    bool     `json:"seq_fallback,omitempty"`
 	Violations     int      `json:"violations,omitempty"`
 	VerifyDiff     *float64 `json:"verify_max_abs_diff,omitempty"`
 	SanitizerClean *bool    `json:"sanitizer_clean,omitempty"`
@@ -114,10 +120,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		report  = fs.Bool("report", false, "join static remarks with runtime per-site waits; print the ranked kept-barrier cost table (forces tracing)")
 		timeout = fs.Duration("timeout", 0, "cancel the run after this long (0 disables); cancellation tears the team down cleanly")
 
-		watchdog = fs.Duration("watchdog", 0, "stall deadline; a worker blocked this long aborts the run with a per-worker deadlock report (0 disables)")
-		chaos    = fs.Int64("chaos-seed", 0, "enable deterministic chaos injection with this seed (0 disables)")
-		sanitize = fs.Bool("sanitize", false, "run the schedule-soundness sanitizer and report unordered cross-worker flows")
-		sabotage = fs.Int("sabotage", 0, "drop the sync edge with this 1-based site number (testing aid; makes the schedule unsound)")
+		poolOn   = fs.Bool("pool", true, "check the worker team out of the persistent team pool (disable for a cold spawn per run)")
+		deadline = fs.Duration("deadline", 0, "per-attempt run deadline under the retry policy (0 disables; pairs with -retries)")
+		retries  = fs.Int("retries", 0, "retry transient failures (watchdog stall, attempt-deadline expiry on a certified schedule) up to this many times with exponential backoff")
+		seqFall  = fs.Bool("seq-fallback", false, "after retries are exhausted, degrade to the sequential executor instead of failing")
+
+		watchdog   = fs.Duration("watchdog", 0, "stall deadline; a worker blocked this long aborts the run with a per-worker deadlock report (0 disables)")
+		chaos      = fs.Int64("chaos-seed", 0, "enable deterministic chaos injection with this seed (0 disables)")
+		chaosStall = fs.Duration("chaos-stall", 0, "with -chaos-seed, arm the rare long-stall chaos fault with this sleep (pairs with -watchdog and -retries to exercise the retry path)")
+		sanitize   = fs.Bool("sanitize", false, "run the schedule-soundness sanitizer and report unordered cross-worker flows")
+		sabotage   = fs.Int("sabotage", 0, "drop the sync edge with this 1-based site number (testing aid; makes the schedule unsound)")
 
 		traceOut = fs.String("trace", "", "record sync events and write a Chrome trace-event JSON file (view in ui.perfetto.dev)")
 		traceSum = fs.Bool("trace-summary", false, "record sync events and print per-site wait/imbalance summary to stderr")
@@ -191,10 +203,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		DeterministicReductions: *det,
 		WatchdogTimeout:         *watchdog,
 		ChaosSeed:               *chaos,
+		ChaosStall:              *chaosStall,
 		SabotageEdge:            *sabotage,
 		Sanitize:                *sanitize,
 		Trace:                   *traceOut != "" || *traceSum || *report,
-		TraceBufCap:             *traceCap}
+		TraceBufCap:             *traceCap,
+		NoPool:                  !*poolOn}
+	if *deadline > 0 || *retries > 0 || *seqFall {
+		// core stamps Certified from the memoized certify verdict, so
+		// hangs retry only on schedules proved deadlock-free.
+		cfg.Policy = &exec.RunPolicy{Deadline: *deadline, MaxRetries: *retries,
+			SequentialFallback: *seqFall}
+	}
 	var runner *core.Runner
 	switch *mode {
 	case "base":
@@ -223,6 +243,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Checksum:  res.State.Checksum(),
 		Certified: res.Certify.Certified,
 	}
+	pay.Pooled = res.Pooled
+	pay.TeamGeneration = res.Generation
+	pay.Attempts = res.Attempts
+	pay.SeqFallback = res.SeqFallback
 	pay.Sync.Barriers = res.Stats.Barriers
 	pay.Sync.CounterIncrs = res.Stats.CounterIncrs
 	pay.Sync.CounterWaits = res.Stats.CounterWaits
@@ -237,6 +261,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "program %s  mode=%s  P=%d  barrier=%s  backend=%s\n",
 			c.Prog.Name, *mode, *workers, bk, be)
 		fmt.Fprintf(stdout, "elapsed:  %s\n", res.Elapsed)
+		team := "cold-spawn"
+		switch {
+		case res.SeqFallback:
+			team = fmt.Sprintf("sequential fallback after %d attempts", res.Attempts)
+		case res.Pooled:
+			team = fmt.Sprintf("pooled (gen %d)", res.Generation)
+		}
+		if res.Attempts > 1 && !res.SeqFallback {
+			team += fmt.Sprintf(", attempt %d", res.Attempts)
+		}
+		fmt.Fprintf(stdout, "team:     %s\n", team)
 		fmt.Fprintf(stdout, "sync:     %s\n", res.Stats)
 		fmt.Fprintf(stdout, "checksum: %.10g\n", res.State.Checksum())
 		fmt.Fprintf(stdout, "certified: %v\n", res.Certify.Certified)

@@ -27,10 +27,11 @@ const SchemaVersion = 1
 // Tool names of the known emitters. Decode accepts unknown names (new
 // tools may appear) but emitters in this repo must use these constants.
 const (
-	ToolCertify = "barrierc-certify"
-	ToolRun     = "spmdrun"
-	ToolBench   = "benchtab-exec"
-	ToolRemarks = "barrierc-remarks"
+	ToolCertify   = "barrierc-certify"
+	ToolRun       = "spmdrun"
+	ToolBench     = "benchtab-exec"
+	ToolPoolBench = "benchtab-pool"
+	ToolRemarks   = "barrierc-remarks"
 )
 
 // Envelope is the wrapper around one tool artifact.

@@ -3,6 +3,8 @@ package exec
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/comm"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/linear"
+	"repro/internal/pool"
 	"repro/internal/region"
 	"repro/internal/sanitize"
 	"repro/internal/spmdrt"
@@ -139,6 +142,25 @@ type Config struct {
 	// (<= 0 selects synctrace.DefaultCap). When a ring fills, the oldest
 	// events are overwritten and reported as dropped.
 	TraceBufCap int
+	// Pool optionally selects the persistent-team pool runs check their
+	// team out of. Nil selects the process-wide DefaultPool. Ignored when
+	// NoPool is set.
+	Pool *pool.Pool
+	// NoPool disables persistent-team reuse: every run spawns a fresh
+	// team and joins it at the end (the pre-pool behavior). Pooled
+	// execution is the default because a parked team costs a channel wake
+	// per run instead of a spawn/join cycle.
+	NoPool bool
+	// Policy, when non-nil, layers run robustness over the executor: a
+	// per-attempt deadline, retry with exponential backoff for transient
+	// failures, and an optional sequential fallback once parallel
+	// attempts are exhausted. See RunPolicy.
+	Policy *RunPolicy
+	// ChaosStall, when positive together with ChaosSeed, arms the chaos
+	// layer's rare long-stall fault: an occasional perturbed sync site
+	// sleeps this long — long enough to trip a short watchdog, which is
+	// the trigger RunPolicy retries recover from.
+	ChaosStall time.Duration
 }
 
 // Result carries the final state and the dynamic synchronization counts.
@@ -154,6 +176,20 @@ type Result struct {
 	// higher ids are pseudo-sites for the fork-join dispatch and the
 	// wavefront/reduction relay chains.
 	Trace *synctrace.Recorder
+	// Pooled reports whether the run executed on a pooled persistent
+	// team (false under Config.NoPool and on the sequential fallback).
+	Pooled bool
+	// Generation is the team's run-generation id for this run: monotonic
+	// per team across reuse, matching the "[gen N]" stamp in watchdog
+	// deadlock reports and the trace's run_metadata event.
+	Generation int64
+	// Attempts is how many team executions the run policy spent
+	// (1 without a policy or when the first attempt succeeded).
+	Attempts int
+	// SeqFallback reports that parallel attempts were exhausted and this
+	// result came from the degraded sequential path (Stats is zero and
+	// Trace is nil there: no team ran).
+	SeqFallback bool
 }
 
 // Runner executes one (program, schedule, plan) combination repeatedly.
@@ -182,6 +218,20 @@ func NewRunner(prog *ir.Program, sched *syncopt.Schedule, plan *decomp.Plan, cfg
 	if cfg.Backend != Closure && cfg.Backend != Interp {
 		return nil, &ConfigError{Field: "Backend",
 			Msg: fmt.Sprintf("unknown backend %d (want Closure or Interp)", int(cfg.Backend))}
+	}
+	if p := cfg.Policy; p != nil {
+		if p.MaxRetries < 0 {
+			return nil, &ConfigError{Field: "Policy.MaxRetries",
+				Msg: fmt.Sprintf("must not be negative, got %d", p.MaxRetries)}
+		}
+		if p.Deadline < 0 {
+			return nil, &ConfigError{Field: "Policy.Deadline",
+				Msg: fmt.Sprintf("must not be negative, got %s", p.Deadline)}
+		}
+		if p.Backoff < 0 {
+			return nil, &ConfigError{Field: "Policy.Backoff",
+				Msg: fmt.Sprintf("must not be negative, got %s", p.Backoff)}
+		}
 	}
 	r := &Runner{prog: prog, sched: sched, plan: plan, cfg: cfg,
 		sites: map[*syncopt.RegionSched][]int{}}
@@ -268,13 +318,67 @@ func (r *Runner) RunOn(st *interp.State) (*Result, error) {
 	return r.RunContextOn(context.Background(), st)
 }
 
-// RunContextOn is RunOn under a context (see RunContext).
+// RunContextOn is RunOn under a context (see RunContext). With a
+// Config.Policy it runs the retry/backoff/fallback loop; otherwise it is a
+// single attempt.
 func (r *Runner) RunContextOn(ctx context.Context, st *interp.State) (*Result, error) {
+	if r.cfg.Policy != nil {
+		return r.runWithPolicy(ctx, st)
+	}
+	return r.runAttempt(ctx, st, 1)
+}
+
+// defaultPool is the process-wide team pool (see DefaultPool).
+var (
+	defaultPoolOnce sync.Once
+	defaultPool     *pool.Pool
+)
+
+// DefaultPool returns the process-wide persistent-team pool that pooled
+// runs use when Config.Pool is nil, publishing its gauges as the
+// "team_pool" expvar on first use.
+func DefaultPool() *pool.Pool {
+	defaultPoolOnce.Do(func() {
+		defaultPool = pool.New(pool.Options{})
+		defaultPool.Publish("team_pool")
+	})
+	return defaultPool
+}
+
+// runAttempt executes the program once on a team — checked out of the
+// pool by default, freshly spawned under Config.NoPool. attempt is the
+// 1-based policy attempt number; it salts the chaos seed so retries see
+// different (still deterministic) adversarial timing, and attempt 1 uses
+// the configured seed unchanged.
+func (r *Runner) runAttempt(ctx context.Context, st *interp.State, attempt int) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, &spmdrt.CancelError{Cause: err}
 	}
 	ps := newPState(st)
-	team := spmdrt.NewTeam(r.cfg.Workers, r.cfg.Barrier)
+	var (
+		team  *spmdrt.Team
+		lease *pool.Lease
+		// relErr is what the lease is released with: nil parks the team
+		// through the reset protocol, non-nil quarantines it. Worker
+		// evaluation errors leave it nil — the team itself ran to
+		// completion and stays reusable.
+		relErr error
+	)
+	if r.cfg.NoPool {
+		team = spmdrt.NewTeam(r.cfg.Workers, r.cfg.Barrier)
+	} else {
+		tp := r.cfg.Pool
+		if tp == nil {
+			tp = DefaultPool()
+		}
+		l, err := tp.Checkout(r.cfg.Workers, r.cfg.Barrier)
+		if err != nil {
+			return nil, err
+		}
+		lease = l
+		team = l.Team().Team()
+		defer func() { lease.Release(relErr) }()
+	}
 	if r.cfg.WatchdogTimeout > 0 {
 		team.SetWatchdog(r.cfg.WatchdogTimeout)
 	}
@@ -293,7 +397,17 @@ func (r *Runner) RunContextOn(ctx context.Context, st *interp.State) (*Result, e
 	run.dispatch.Site = "fork-join dispatch"
 	team.Stats.InitSites(r.nSites)
 	if r.cfg.ChaosSeed != 0 {
-		run.chaos = spmdrt.NewChaos(r.cfg.ChaosSeed, r.cfg.Workers)
+		seed := r.cfg.ChaosSeed
+		if attempt > 1 {
+			// Decorrelate retries: the same seed would replay the exact
+			// perturbation sequence (including a stall) that failed the
+			// previous attempt. Attempt 1 keeps the configured seed so
+			// single-attempt runs stay bit-identical to the pre-policy
+			// executor.
+			seed ^= int64(uint64(attempt-1) * 0x9E3779B97F4A7C15)
+		}
+		run.chaos = spmdrt.NewChaos(seed, r.cfg.Workers)
+		run.chaos.EnableStall(r.cfg.ChaosStall)
 	}
 	if r.cfg.Sanitize {
 		run.san = newSanRun(r.prog, ps, r.cfg.Workers)
@@ -370,18 +484,22 @@ func (r *Runner) RunContextOn(ctx context.Context, st *interp.State) (*Result, e
 
 	if ctx.Done() != nil {
 		stop := make(chan struct{})
-		defer close(stop)
+		stopped := make(chan struct{})
 		go func() {
+			defer close(stopped)
 			select {
 			case <-ctx.Done():
 				team.Cancel(ctx.Err())
 			case <-stop:
 			}
 		}()
+		// Join the watcher — not just signal it — before the deferred
+		// lease release: a team.Cancel racing the reset protocol could
+		// latch a team that is already parked for the next checkout.
+		defer func() { close(stop); <-stopped }()
 	}
 
-	start := time.Now()
-	runErr := team.Run(func(w int) {
+	body := func(w int) {
 		ws := &workerState{
 			run:       run,
 			w:         w,
@@ -428,11 +546,22 @@ func (r *Runner) RunContextOn(ctx context.Context, st *interp.State) (*Result, e
 		}
 		ws.execRegion(r.sched.Top)
 		run.errs[w] = ws.err
-	})
+	}
+	start := time.Now()
+	var runErr error
+	if lease != nil {
+		runErr = lease.Team().Run(body)
+	} else {
+		runErr = team.Run(body)
+	}
 	elapsed := time.Since(start)
+	gen := team.Generation()
 	if runErr != nil {
-		// A watchdog deadlock report or a recovered worker panic: the
-		// run was aborted, shared state is not meaningful.
+		// A watchdog deadlock report, a recovered worker panic or a
+		// cancellation: the run was aborted, shared state is not
+		// meaningful, and the team's failure latch is tripped for good —
+		// quarantine it.
+		relErr = runErr
 		return nil, runErr
 	}
 	for _, e := range run.errs {
@@ -446,8 +575,12 @@ func (r *Runner) RunContextOn(ctx context.Context, st *interp.State) (*Result, e
 		}
 	}
 	ps.flushTo(st)
+	// Teardown-time: workers have quiesced, so stamping the recorder's
+	// run metadata here is safe.
+	run.rec.SetMeta("team_generation", strconv.FormatInt(gen, 10))
+	run.rec.SetMeta("pooled", strconv.FormatBool(lease != nil))
 	res := &Result{State: st, Stats: team.Stats.Snapshot(), Elapsed: elapsed,
-		Trace: run.rec}
+		Trace: run.rec, Pooled: lease != nil, Generation: gen, Attempts: attempt}
 	if run.san != nil {
 		res.Sanitizer = run.san.tr.Report()
 	}

@@ -1,0 +1,42 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/spmdrt"
+)
+
+// TestTransientClassification pins the retry policy's failure taxonomy:
+// hangs (watchdog deadlock, per-attempt deadline expiry) are transient
+// only on certified schedules; panics and plain cancellations never are.
+func TestTransientClassification(t *testing.T) {
+	deadlock := &spmdrt.DeadlockError{Deadline: 1}
+	deadline := &spmdrt.CancelError{Cause: context.DeadlineExceeded}
+	cancelled := &spmdrt.CancelError{Cause: context.Canceled}
+	panicked := &spmdrt.PanicError{Worker: 1, Value: "boom"}
+	cases := []struct {
+		name      string
+		err       error
+		certified bool
+		want      bool
+	}{
+		{"deadlock certified", deadlock, true, true},
+		{"deadlock uncertified", deadlock, false, false},
+		{"deadline certified", deadline, true, true},
+		{"deadline uncertified", deadline, false, false},
+		{"cancel certified", cancelled, true, false},
+		{"panic certified", panicked, true, false},
+		{"wrapped deadlock", fmt.Errorf("run 3: %w", deadlock), true, true},
+		{"plain error", fmt.Errorf("parse: bad input"), true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := transient(tc.err, tc.certified); got != tc.want {
+				t.Errorf("transient(%v, certified=%v) = %v, want %v",
+					tc.err, tc.certified, got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,467 @@
+package exec_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/pool"
+	"repro/internal/spmdrt"
+	"repro/internal/suite"
+)
+
+// TestPooledRunDefaults pins pooled execution as the default: a plain run
+// reports Pooled with a positive generation, and NoPool opts out.
+func TestPooledRunDefaults(t *testing.T) {
+	r := contextRunner(t, "jacobi1d", nil)
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pooled {
+		t.Error("default run not pooled")
+	}
+	if res.Generation < 1 {
+		t.Errorf("pooled run generation = %d, want >= 1", res.Generation)
+	}
+	if res.Attempts != 1 {
+		t.Errorf("policy-less run attempts = %d, want 1", res.Attempts)
+	}
+
+	k, err := suite.Get("jacobi1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := c.NewRunner(exec.Config{Workers: 4, Params: k.Params,
+		Mode: exec.SPMD, NoPool: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = rc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pooled {
+		t.Error("NoPool run reported as pooled")
+	}
+}
+
+// TestRunContextCancelPooled is the pooled variant of the cancellation
+// contract: a mid-run cancellation quarantines the leased team, the pool
+// rebuilds a replacement asynchronously, and the next checkout of that
+// shape gets a healthy team with factory-fresh stats.
+func TestRunContextCancelPooled(t *testing.T) {
+	tp := pool.New(pool.Options{})
+	defer tp.Close()
+
+	k, err := suite.Get("jacobi2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A large input so the run reliably outlives the deadline.
+	big := map[string]int64{"N": 256, "T": 1 << 20}
+	r, err := c.NewRunner(exec.Config{Workers: 4, Params: big,
+		Mode: exec.SPMD, Pool: tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err = r.RunContext(ctx)
+	var ce *spmdrt.CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *spmdrt.CancelError, got %v", err)
+	}
+
+	s := tp.Snapshot()
+	if s.Quarantines != 1 {
+		t.Fatalf("quarantines = %d after cancelled pooled run, want 1", s.Quarantines)
+	}
+	tp.Quiesce()
+	s = tp.Snapshot()
+	if s.Rebuilt != 1 || s.Live != 1 || s.Idle != 1 {
+		t.Fatalf("after quiesce: %+v, want 1 rebuilt / 1 live / 1 idle", s)
+	}
+
+	// The rebuilt team serves the next checkout: same shape, clean stats,
+	// generation 1 (a fresh team, not the poisoned one resuscitated).
+	small, err := suite.Get("jacobi1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := core.Compile(small.Source, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c2.NewRunner(exec.Config{Workers: 4, Params: small.Params,
+		Mode: exec.SPMD, Pool: tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r2.Run()
+	if err != nil {
+		t.Fatalf("run on rebuilt team: %v", err)
+	}
+	if !res.Pooled {
+		t.Error("run on rebuilt team not pooled")
+	}
+	if res.Generation != 1 {
+		t.Errorf("rebuilt team generation = %d, want 1 (fresh team)", res.Generation)
+	}
+	s = tp.Snapshot()
+	if s.Reuses != 1 {
+		t.Errorf("reuses = %d, want 1 (rebuilt team served the checkout)", s.Reuses)
+	}
+
+	// Clean-stats check: the pooled run's counts match an identical
+	// unpooled run bit for bit — nothing leaked across the quarantine.
+	r3, err := c2.NewRunner(exec.Config{Workers: 4, Params: small.Params,
+		Mode: exec.SPMD, NoPool: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := r3.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprintf("%v", res.Stats), fmt.Sprintf("%v", ref.Stats); got != want {
+		t.Errorf("pooled stats diverge from cold-team stats:\npooled: %s\ncold:   %s", got, want)
+	}
+}
+
+// findStallSeed probes for a chaos seed whose first attempt deterministically
+// trips the watchdog via the armed long-stall fault. Chaos streams are pure
+// functions of the seed, so a seed that stalls once stalls every time.
+func findStallSeed(t *testing.T, c *core.Compiled, params map[string]int64) int64 {
+	t.Helper()
+	for seed := int64(1); seed <= 64; seed++ {
+		r, err := c.NewRunner(exec.Config{
+			Workers:         4,
+			Params:          params,
+			Mode:            exec.SPMD,
+			NoPool:          true,
+			ChaosSeed:       seed,
+			ChaosStall:      250 * time.Millisecond,
+			WatchdogTimeout: 40 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = r.Run()
+		var de *spmdrt.DeadlockError
+		if errors.As(err, &de) {
+			return seed
+		}
+		if err != nil {
+			t.Fatalf("probe seed %d: unexpected error %v", seed, err)
+		}
+	}
+	t.Fatal("no chaos seed in 1..64 trips the stall fault")
+	return 0
+}
+
+// TestPolicyRetriesChaosStall drives a run whose first attempt is known to
+// stall into the watchdog, under a policy with retries and sequential
+// fallback: the run must succeed — by a retry under decorrelated chaos
+// timing or by degrading to the sequential path — and the result must
+// match the sequential reference.
+func TestPolicyRetriesChaosStall(t *testing.T) {
+	k, err := suite.Get("jacobi1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := clampParams(k.Params)
+	ref, err := c.RunSequential(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := findStallSeed(t, c, params)
+
+	tp := pool.New(pool.Options{})
+	defer tp.Close()
+	var retries []int
+	r, err := c.NewRunner(exec.Config{
+		Workers:         4,
+		Params:          params,
+		Mode:            exec.SPMD,
+		Pool:            tp,
+		ChaosSeed:       seed,
+		ChaosStall:      250 * time.Millisecond,
+		WatchdogTimeout: 40 * time.Millisecond,
+		Policy: &exec.RunPolicy{
+			MaxRetries:         4,
+			Backoff:            2 * time.Millisecond,
+			SequentialFallback: true,
+			OnRetry:            func(attempt int) { retries = append(retries, attempt) },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatalf("policy did not recover a known-stalling run: %v", err)
+	}
+	if len(retries) == 0 {
+		t.Fatal("first attempt is known to stall, but OnRetry never fired")
+	}
+	if !res.SeqFallback && res.Attempts < 2 {
+		t.Fatalf("attempts = %d with no fallback; the stalling first attempt cannot have succeeded", res.Attempts)
+	}
+	if res.SeqFallback && res.Attempts != 5 {
+		t.Errorf("fallback after attempts = %d, want 5 (MaxRetries+1)", res.Attempts)
+	}
+	if d := exec.ComparableDiff(ref, res.State, c.Prog); d > 1e-12 {
+		t.Errorf("recovered result diverges from sequential reference: diff=%g", d)
+	}
+
+	// Every stalled attempt quarantined its team; the pool must have
+	// rebuilt them all and still serve healthy teams afterwards.
+	tp.Quiesce()
+	s := tp.Snapshot()
+	if s.Quarantines < 1 {
+		t.Errorf("no quarantines after %d stalled attempts", len(retries))
+	}
+	if s.Quarantines != s.Rebuilt {
+		t.Errorf("quarantines = %d but rebuilt = %d", s.Quarantines, s.Rebuilt)
+	}
+}
+
+// TestPolicyDeterministicFailureNotRetried pins the other half of the
+// classification: on an uncertified schedule the same watchdog stall is
+// evidence of a real bug — the policy must surface it without retrying.
+func TestPolicyDeterministicFailureNotRetried(t *testing.T) {
+	k, err := suite.Get("jacobi1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := clampParams(k.Params)
+	seed := findStallSeed(t, c, params)
+
+	// exec.NewRunner directly: core would stamp the (certified) verdict
+	// onto the policy, and this test needs the uncertified classification.
+	var retried bool
+	r, err := exec.NewRunner(c.Prog, c.Schedule, c.Plan, exec.Config{
+		Workers:         4,
+		Params:          params,
+		Mode:            exec.SPMD,
+		NoPool:          true,
+		ChaosSeed:       seed,
+		ChaosStall:      250 * time.Millisecond,
+		WatchdogTimeout: 40 * time.Millisecond,
+		Policy: &exec.RunPolicy{
+			MaxRetries:         4,
+			Backoff:            time.Millisecond,
+			SequentialFallback: true,
+			Certified:          false,
+			OnRetry:            func(int) { retried = true },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Run()
+	var de *spmdrt.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want the DeadlockError surfaced, got %v", err)
+	}
+	if retried {
+		t.Error("uncertified hang was retried")
+	}
+}
+
+// TestPolicyCallerCancelAborts: the caller's own context ending mid-policy
+// aborts immediately instead of burning retries or falling back.
+func TestPolicyCallerCancelAborts(t *testing.T) {
+	k, err := suite.Get("jacobi2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retried bool
+	r, err := c.NewRunner(exec.Config{
+		Workers: 4,
+		Params:  map[string]int64{"N": 256, "T": 1 << 20},
+		Mode:    exec.SPMD,
+		Policy: &exec.RunPolicy{
+			MaxRetries:         3,
+			SequentialFallback: true,
+			OnRetry:            func(int) { retried = true },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err = r.RunContext(ctx)
+	var ce *spmdrt.CancelError
+	if !errors.As(err, &ce) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want CancelError unwrapping to DeadlineExceeded, got %v", err)
+	}
+	if retried {
+		t.Error("caller cancellation was retried")
+	}
+}
+
+// TestPooledChaosSanitizerReuseSweep is the contamination acceptance test:
+// well over 100 back-to-back runs on ONE pool across all 16 suite kernels
+// under chaos injection with the sanitizer armed — every run must match
+// the sequential reference, audit clean, and produce sync stats identical
+// to every other run of its configuration (any cross-run leakage of
+// stats, trace bindings or sanitizer clocks would break that); a policy
+// leg with the stall fault armed additionally proves stalled runs retry
+// to success or degrade to sequential on the same pool. Afterwards the
+// pool tears down to zero goroutine growth.
+func TestPooledChaosSanitizerReuseSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-run sweep")
+	}
+	exec.DefaultPool().Quiesce() // settle background rebuilds before the baseline
+	baseline := runtime.NumGoroutine()
+	tp := pool.New(pool.Options{})
+
+	const runsPerKernel = 7
+	total := 0
+	for _, k := range suite.Kernels() {
+		params := clampParams(k.Params)
+		c, err := core.Compile(k.Source, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: compile: %v", k.Name, err)
+		}
+		ref, err := c.RunSequential(params)
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", k.Name, err)
+		}
+		r, err := c.NewRunner(exec.Config{
+			Workers:         4,
+			Params:          params,
+			Mode:            exec.SPMD,
+			Pool:            tp,
+			ChaosSeed:       11,
+			Sanitize:        true,
+			WatchdogTimeout: 60 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		tol := k.Tol
+		if tol == 0 {
+			tol = 1e-12
+		}
+		var firstStats string
+		for i := 0; i < runsPerKernel; i++ {
+			res, err := r.Run()
+			if err != nil {
+				t.Fatalf("%s run %d: %v", k.Name, i, err)
+			}
+			total++
+			if !res.Pooled {
+				t.Fatalf("%s run %d: not pooled", k.Name, i)
+			}
+			if d := exec.ComparableDiff(ref, res.State, c.Prog); d > tol {
+				t.Errorf("%s run %d: diverges from reference: diff=%g", k.Name, i, d)
+			}
+			if !res.Sanitizer.Clean() {
+				t.Errorf("%s run %d: sanitizer violations on a reused team:\n%s",
+					k.Name, i, res.Sanitizer)
+			}
+			stats := fmt.Sprintf("%v", res.Stats)
+			if i == 0 {
+				firstStats = stats
+			} else if stats != firstStats {
+				t.Errorf("%s run %d: stats diverge across reuse (contamination):\nfirst: %s\nnow:   %s",
+					k.Name, i, firstStats, stats)
+			}
+		}
+	}
+	if total < 100 {
+		t.Fatalf("sweep covered only %d runs, want >= 100", total)
+	}
+
+	// Policy leg: the stall fault armed on a short watchdog. Every run
+	// must still end in a correct result — retried or degraded.
+	var retries, fallbacks int
+	for _, name := range []string{"jacobi1d", "stencil9"} {
+		k, err := suite.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := clampParams(k.Params)
+		c, err := core.Compile(k.Source, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := c.RunSequential(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 5; seed++ {
+			r, err := c.NewRunner(exec.Config{
+				Workers:         4,
+				Params:          params,
+				Mode:            exec.SPMD,
+				Pool:            tp,
+				ChaosSeed:       seed,
+				ChaosStall:      200 * time.Millisecond,
+				WatchdogTimeout: 40 * time.Millisecond,
+				Policy: &exec.RunPolicy{
+					MaxRetries:         3,
+					Backoff:            2 * time.Millisecond,
+					SequentialFallback: true,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := r.Run()
+			if err != nil {
+				t.Fatalf("%s stall seed %d not recovered: %v", name, seed, err)
+			}
+			retries += res.Attempts - 1
+			if res.SeqFallback {
+				fallbacks++
+			}
+			if d := exec.ComparableDiff(ref, res.State, c.Prog); d > 1e-12 {
+				t.Errorf("%s stall seed %d: diverges: diff=%g", name, seed, d)
+			}
+			total++
+		}
+	}
+	t.Logf("sweep: %d runs, %d retries, %d fallbacks, pool %+v",
+		total, retries, fallbacks, tp.Snapshot())
+
+	tp.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew by %d over the sweep",
+				runtime.NumGoroutine()-baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,179 @@
+package pool
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/spmdrt"
+)
+
+// TestCheckoutReuse: a released team is handed back on the next checkout
+// of the same shape, and the gauges record the hit.
+func TestCheckoutReuse(t *testing.T) {
+	p := New(Options{})
+	defer p.Close()
+	l1, err := p.Checkout(4, spmdrt.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := l1.Team()
+	team := first.Team()
+	if err := l1.Team().Run(func(w int) { team.Barrier(w) }); err != nil {
+		t.Fatal(err)
+	}
+	l1.Release(nil)
+	l2, err := p.Checkout(4, spmdrt.Central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Release(nil)
+	if l2.Team() != first {
+		t.Error("checkout after clean release built a new team instead of reusing")
+	}
+	if got := l2.Team().Team().Stats.Snapshot().Barriers; got != 0 {
+		t.Errorf("reused team carries %d barriers from the previous run", got)
+	}
+	if l2.Runs() != 2 {
+		t.Errorf("Runs = %d, want 2", l2.Runs())
+	}
+	s := p.Snapshot()
+	if s.Checkouts != 2 || s.Reuses != 1 || s.ColdBuilds != 1 {
+		t.Errorf("gauges = %+v, want 2 checkouts / 1 reuse / 1 cold build", s)
+	}
+}
+
+// TestShapeKeying: different (P, kind) shapes never share teams.
+func TestShapeKeying(t *testing.T) {
+	p := New(Options{})
+	defer p.Close()
+	a, _ := p.Checkout(2, spmdrt.Central)
+	a.Release(nil)
+	b, _ := p.Checkout(2, spmdrt.Tree)
+	defer b.Release(nil)
+	if b.Team() == a.Team() {
+		t.Fatal("checkout crossed barrier-kind keys")
+	}
+	if b.Team().N() != 2 || b.Team().Kind() != spmdrt.Tree {
+		t.Fatalf("wrong shape: P=%d kind=%s", b.Team().N(), b.Team().Kind())
+	}
+}
+
+// TestFailedRunQuarantinesAndRebuilds: releasing with an error retires the
+// team, a replacement is rebuilt asynchronously, and the next checkout
+// gets a healthy, clean team that is not the poisoned one.
+func TestFailedRunQuarantinesAndRebuilds(t *testing.T) {
+	p := New(Options{})
+	defer p.Close()
+	l, err := p.Checkout(4, spmdrt.Dissemination)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := l.Team()
+	runErr := l.Team().Run(func(w int) { panic("injected") })
+	if runErr == nil {
+		t.Fatal("injected panic did not surface")
+	}
+	l.Release(runErr)
+	if l.Health() != Quarantined {
+		t.Fatalf("health after failed release = %s, want quarantined", l.Health())
+	}
+	p.Quiesce()
+	s := p.Snapshot()
+	if s.Quarantines != 1 || s.Rebuilt != 1 {
+		t.Fatalf("gauges = %+v, want 1 quarantine and 1 rebuild", s)
+	}
+	l2, err := p.Checkout(4, spmdrt.Dissemination)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Release(nil)
+	if l2.Team() == poisoned {
+		t.Fatal("checkout handed back the quarantined team")
+	}
+	if err := l2.Team().VerifyClean(); err != nil {
+		t.Fatalf("rebuilt team not clean: %v", err)
+	}
+	team := l2.Team().Team()
+	if err := l2.Team().Run(func(w int) { team.Barrier(w) }); err != nil {
+		t.Fatalf("rebuilt team cannot run: %v", err)
+	}
+}
+
+// TestNoRebuildOption: with NoRebuild, a quarantined team is closed and
+// the pool shrinks instead of replacing it.
+func TestNoRebuildOption(t *testing.T) {
+	p := New(Options{NoRebuild: true})
+	defer p.Close()
+	l, _ := p.Checkout(2, spmdrt.Central)
+	l.Release(errors.New("injected failure"))
+	p.Quiesce()
+	s := p.Snapshot()
+	if s.Rebuilt != 0 || s.Live != 0 {
+		t.Fatalf("gauges = %+v, want no rebuilds and no live teams", s)
+	}
+}
+
+// TestIdleBound: surplus clean releases close teams instead of parking
+// without bound.
+func TestIdleBound(t *testing.T) {
+	p := New(Options{MaxIdlePerKey: 2})
+	defer p.Close()
+	leases := make([]*Lease, 5)
+	for i := range leases {
+		var err error
+		if leases[i], err = p.Checkout(2, spmdrt.Central); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range leases {
+		l.Release(nil)
+	}
+	s := p.Snapshot()
+	if s.Idle != 2 || s.Live != 2 {
+		t.Fatalf("gauges = %+v, want 2 idle / 2 live with MaxIdlePerKey=2", s)
+	}
+}
+
+// TestReleaseIdempotent: double release is a no-op.
+func TestReleaseIdempotent(t *testing.T) {
+	p := New(Options{})
+	defer p.Close()
+	l, _ := p.Checkout(2, spmdrt.Central)
+	l.Release(nil)
+	l.Release(errors.New("late failure"))
+	s := p.Snapshot()
+	if s.Releases != 1 || s.Quarantines != 0 {
+		t.Fatalf("gauges = %+v, want exactly one release and no quarantine", s)
+	}
+}
+
+// TestCloseReleasesEverything: Close drains parked teams and their
+// goroutines; checkouts afterwards fail.
+func TestCloseReleasesEverything(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	p := New(Options{})
+	for i := 0; i < 3; i++ {
+		l, err := p.Checkout(4, spmdrt.Central)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Release(nil)
+	}
+	p.Close()
+	if _, err := p.Checkout(4, spmdrt.Central); err == nil {
+		t.Fatal("checkout from a closed pool succeeded")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool workers leaked: %d goroutines above baseline",
+				runtime.NumGoroutine()-baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if live := p.Snapshot().Live; live != 0 {
+		t.Fatalf("live gauge = %d after Close, want 0", live)
+	}
+}

@@ -56,6 +56,18 @@ func (s *Stats) InitSites(n int) {
 	}
 }
 
+// Reset zeroes every counter and drops the per-site attribution,
+// returning the Stats to its as-constructed state. Reuse-time only: call
+// with no workers running (the persistent-team reset protocol does).
+func (s *Stats) Reset() {
+	s.Barriers.Store(0)
+	s.CounterIncrs.Store(0)
+	s.CounterWaits.Store(0)
+	s.NeighborWaits.Store(0)
+	s.Dispatches.Store(0)
+	s.sites = nil
+}
+
 // SiteBarrier attributes one executed barrier to 0-based site id.
 // Out-of-range ids (including the executor's -1 "unsited") are ignored.
 func (s *Stats) SiteBarrier(site int) {
@@ -83,6 +95,25 @@ func (s *Stats) SiteNeighborWait(site int) {
 	if site >= 0 && site < len(s.sites) {
 		s.sites[site].neighborWaits.Add(1)
 	}
+}
+
+// Residue reports whether any counter — aggregate or per-site — is
+// nonzero. It is the allocation-free form of the post-reset audit: the
+// pool checks it on every release, so it must not build the snapshot map
+// just to confirm everything is zero.
+func (s *Stats) Residue() bool {
+	if s.Barriers.Load() != 0 || s.CounterIncrs.Load() != 0 ||
+		s.CounterWaits.Load() != 0 || s.NeighborWaits.Load() != 0 ||
+		s.Dispatches.Load() != 0 {
+		return true
+	}
+	for i := range s.sites {
+		if s.sites[i].barriers.Load() != 0 || s.sites[i].counterIncrs.Load() != 0 ||
+			s.sites[i].counterWaits.Load() != 0 || s.sites[i].neighborWaits.Load() != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Snapshot returns a plain-value copy of the counters.
@@ -548,6 +579,10 @@ type Team struct {
 	// each worker's episode number (padded, owner-written).
 	trace *synctrace.Recorder
 	eps   []paddedInt
+	// gen counts runs on this team (monotonic, never reset): watchdog
+	// reports and trace metadata carry it so a report from a reused team
+	// is attributable to the specific run, not just the site.
+	gen atomic.Int64
 }
 
 // NewTeam creates a team of n workers using the given barrier kind.
@@ -561,6 +596,12 @@ func NewTeam(n int, kind BarrierKind) *Team {
 
 // BarrierKind returns the team's barrier implementation kind.
 func (t *Team) BarrierKind() BarrierKind { return t.kind }
+
+// Generation returns the team's run-generation id: the number of Run calls
+// started on this team so far. It increases monotonically across reuse and
+// is never reset, so deadlock reports and trace metadata stamped with it
+// identify the exact run they came from.
+func (t *Team) Generation() int64 { return t.gen.Load() }
 
 // SetWatchdog arms the stall watchdog: any team-bound blocking wait that
 // makes no progress for d aborts the run with a structured DeadlockError.
@@ -602,6 +643,7 @@ func (t *Team) NewP2P() *P2P { return newP2P(t.N, t.mon) }
 // beyond the SetWatchdog deadline returns a *DeadlockError. A team that
 // has failed must not be reused.
 func (t *Team) Run(fn func(w int)) error {
+	t.mon.gen.Store(t.gen.Add(1))
 	return runWorkers(t.N, t.mon, fn)
 }
 

@@ -22,7 +22,10 @@ import (
 type Monitor struct {
 	n          int
 	deadlineNS atomic.Int64
-	sites      []siteSlot
+	// gen mirrors the owning team's run-generation counter so deadlock
+	// reports attribute to the specific run of a reused team.
+	gen   atomic.Int64
+	sites []siteSlot
 
 	mu       sync.Mutex
 	failErr  error
@@ -111,14 +114,18 @@ type DeadlockError struct {
 	Deadline time.Duration
 	// Trigger is the worker whose wait tripped the watchdog.
 	Trigger int
+	// Generation is the team's run generation (Team.Generation) when the
+	// report was assembled, so a report from a reused team attributes to
+	// the specific run, not just the site.
+	Generation int64
 	// Workers holds one status per team worker.
 	Workers []WaitStatus
 }
 
 func (e *DeadlockError) Error() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "spmdrt: watchdog: worker %d made no progress for %s; per-worker wait sites:",
-		e.Trigger, e.Deadline)
+	fmt.Fprintf(&sb, "spmdrt: watchdog: [gen %d] worker %d made no progress for %s; per-worker wait sites:",
+		e.Generation, e.Trigger, e.Deadline)
 	for _, w := range e.Workers {
 		sb.WriteString("\n  " + w.String())
 	}
@@ -160,8 +167,9 @@ type teamAbort struct{}
 // deadlockReport snapshots every worker's registered wait site.
 func (m *Monitor) deadlockReport(trigger *WaitSite) *DeadlockError {
 	e := &DeadlockError{
-		Deadline: time.Duration(m.deadlineNS.Load()),
-		Trigger:  trigger.Worker,
+		Deadline:   time.Duration(m.deadlineNS.Load()),
+		Trigger:    trigger.Worker,
+		Generation: m.gen.Load(),
 	}
 	now := time.Now()
 	for w := 0; w < m.n; w++ {
@@ -193,7 +201,7 @@ func (m *Monitor) deadlockReport(trigger *WaitSite) *DeadlockError {
 // site (built lazily by mk, only once the fast path fails), polls the
 // team failure latch, and enforces the stall deadline.
 func waitUntil(m *Monitor, mk func() *WaitSite, done func() bool) {
-	for i := 0; i < 64; i++ {
+	for i := 0; i < spinWaits; i++ {
 		if done() {
 			return
 		}
@@ -234,6 +242,20 @@ func waitUntil(m *Monitor, mk func() *WaitSite, done func() bool) {
 	}
 }
 
+// spinWaits is the busy-spin budget of the waitUntil fast path. Spinning
+// only pays when another CPU can flip the awaited condition concurrently;
+// on a uniprocessor the awaited worker cannot be running while we spin,
+// so every spin round is wasted time on the critical path of a barrier
+// episode. The same multicore gate sync.Mutex applies before it spins.
+// Captured once at init: GOMAXPROCS rarely changes mid-process, and a
+// stale value only costs (or saves) a 64-iteration spin window.
+var spinWaits = func() int {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return 64
+	}
+	return 0
+}()
+
 // backoff escalates 1µs → 128µs over successive sleep rounds: short enough
 // that abort/deadline checks stay responsive, long enough that a stalled
 // wait costs no meaningful CPU.
@@ -250,27 +272,31 @@ func backoff(i int) time.Duration {
 // monitored primitives unwind promptly; a worker stuck outside any
 // runtime primitive cannot be preempted and is abandoned (leaked) after a
 // grace period so the caller still receives the failure report.
+//
+// Completion is tracked by an atomic countdown whose last decrement closes
+// done, not by a helper goroutine blocked in WaitGroup.Wait: such a waiter
+// would itself leak whenever a worker is abandoned past the grace period
+// (e.g. a run that returns by panic propagation), leaking one goroutine
+// per failed run even after every worker eventually exits.
 func runWorkers(n int, m *Monitor, fn func(w int)) error {
-	var wg sync.WaitGroup
-	wg.Add(n)
+	done := make(chan struct{})
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
 	for w := 0; w < n; w++ {
 		go func(w int) {
-			defer wg.Done()
 			defer func() {
-				r := recover()
-				if r == nil {
-					return
+				if r := recover(); r != nil {
+					if _, ok := r.(teamAbort); !ok {
+						m.fail(&PanicError{Worker: w, Value: r, Stack: string(debug.Stack())})
+					}
 				}
-				if _, ok := r.(teamAbort); ok {
-					return
+				if remaining.Add(-1) == 0 {
+					close(done)
 				}
-				m.fail(&PanicError{Worker: w, Value: r, Stack: string(debug.Stack())})
 			}()
 			fn(w)
 		}(w)
 	}
-	done := make(chan struct{})
-	go func() { wg.Wait(); close(done) }()
 	select {
 	case <-done:
 	case <-m.failedCh:
@@ -283,5 +309,6 @@ func runWorkers(n int, m *Monitor, fn func(w int)) error {
 }
 
 // unwindGrace bounds how long Team.Run waits for workers to unwind after
-// the team has failed.
-const unwindGrace = 2 * time.Second
+// the team has failed. A variable so the runtime's own tests can shrink
+// it to exercise worker abandonment without multi-second sleeps.
+var unwindGrace = 2 * time.Second

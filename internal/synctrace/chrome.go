@@ -47,6 +47,18 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			Args: map[string]any{"name": fmt.Sprintf("worker %d", wk)},
 		})
 	}
+	if len(r.meta) > 0 {
+		// Run-level metadata (team generation, pooled execution) rides one
+		// metadata event; json marshals map keys sorted, so the export
+		// stays byte-stable run to run.
+		args := make(map[string]any, len(r.meta))
+		for k, v := range r.meta {
+			args[k] = v
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "run_metadata", Ph: "M", Pid: 0, Tid: 0, Args: args,
+		})
+	}
 	for _, ev := range r.Events() {
 		ce := chromeEvent{
 			Name: eventName(r, ev.Event),

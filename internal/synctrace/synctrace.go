@@ -123,6 +123,9 @@ type Recorder struct {
 	cap   int
 	ws    []workerBuf
 	sites []string
+	// meta holds run-level metadata (team generation, pooled execution)
+	// attached by the executor and exported as a Chrome metadata event.
+	meta map[string]string
 }
 
 // New builds a recorder for n workers with the given per-worker ring
@@ -160,6 +163,27 @@ func (r *Recorder) AddSite(name string) int32 {
 	}
 	r.sites = append(r.sites, name)
 	return int32(len(r.sites) - 1)
+}
+
+// SetMeta attaches one run-level metadata pair (e.g. "team_generation"),
+// exported by WriteChromeTrace as a metadata event. Setup- or
+// teardown-time only: not safe while workers are recording. Nil-safe.
+func (r *Recorder) SetMeta(key, value string) {
+	if r == nil {
+		return
+	}
+	if r.meta == nil {
+		r.meta = map[string]string{}
+	}
+	r.meta[key] = value
+}
+
+// Meta returns the metadata value for key ("" when absent or nil).
+func (r *Recorder) Meta(key string) string {
+	if r == nil {
+		return ""
+	}
+	return r.meta[key]
 }
 
 // SiteName resolves a site id to its registered name.

@@ -4,8 +4,10 @@
 # remarks golden + sync-report smokes, a
 # chaos + sanitizer + watchdog smoke of representative suite kernels,
 # trace-export and Table W smokes, the tracing overhead guard, the
-# closure/interp backend-parity gate, and the Table T throughput smoke
-# with its BENCH_exec.json envelope validation.
+# closure/interp backend-parity gate, the Table T throughput smoke
+# with its BENCH_exec.json envelope validation, the pooled 16-kernel
+# chaos+sanitizer reuse sweep, and the Table P team-provisioning smoke
+# with its BENCH_pool.json envelope validation.
 # Run from anywhere; operates on the repository containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,7 +30,7 @@ echo "== go test -race =="
 go test -race ./...
 
 barrierc="$(mktemp -t barrierc.XXXXXX)"
-trap 'rm -f "$barrierc" "${trace_tmp:-}" "${bench_tmp:-}"' EXIT
+trap 'rm -f "$barrierc" "${trace_tmp:-}" "${bench_tmp:-}" "${pool_tmp:-}"' EXIT
 go build -o "$barrierc" ./cmd/barrierc
 
 echo "== lint smoke (barrierc -lint) =="
@@ -186,6 +188,42 @@ print("-- BENCH_exec.json valid; speedups:",
       ", ".join(f"{k}={rows[k]['speedup']:.2f}x" for k in rows))
 EOF
 fi
+
+echo "== pooled reuse sweep (chaos + sanitizer, one pool) =="
+# The tentpole robustness gate: >= 100 back-to-back runs across the
+# 16-kernel suite on a single team pool, all chaos-perturbed and
+# sanitized, plus a stall-injected retry/fallback leg — every run must
+# end correct, with zero cross-run stat/trace/sanitizer contamination,
+# quarantines matched by rebuilds, and zero goroutine growth.
+sweep_out="$(go test -run TestPooledChaosSanitizerReuseSweep ./internal/exec -count=1 -v)" || {
+    echo "$sweep_out" >&2
+    echo "ERROR: pooled reuse sweep failed" >&2
+    exit 1
+}
+echo "$sweep_out" | grep "sweep:"
+
+echo "== benchtab Table P smoke (BENCH_pool.json) =="
+# The team-provisioning table must build, emit a valid versioned JSON
+# envelope, and show pooled provisioning overhead >= 5x below cold spawn
+# at P=8 (acceptance floor; see docs/POOL.md for the measurement design).
+pool_tmp="$(mktemp -t benchpool.XXXXXX.json)"
+go run ./cmd/benchtab -table P -out "$pool_tmp" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$pool_tmp" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema_version"] == 1, d
+assert d["tool"] == "benchtab-pool", d
+rows = {r["workers"]: r for r in d["payload"]["rows"]}
+for p in (2, 4, 8, 16):
+    assert p in rows, f"P={p} missing from BENCH_pool.json"
+    assert rows[p]["cold_ns"] > 0 and rows[p]["pooled_ns"] > 0, rows[p]
+s = rows[8]["speedup"]
+assert s >= 5.0, f"P=8 pooled overhead speedup {s:.2f}x < 5x acceptance floor"
+print(f"-- BENCH_pool.json valid; P=8 provisioning speedup {s:.2f}x")
+EOF
+fi
+rm -f "$pool_tmp"
 
 echo "== sabotage must be caught =="
 # Dropping a scheduled sync edge has to make spmdrun fail (sanitizer
