@@ -8,6 +8,7 @@
 //	benchtab -table T -out BENCH_exec.json   # backend throughput table
 //	benchtab -table P -out BENCH_pool.json   # team pool reuse latency
 //	benchtab -table P -chaos-seed 1          # ...plus the retry/fallback leg
+//	benchtab -table H -out BENCH_profile.json # sync-wait profile rollup
 //	benchtab -fig 1           # barrier latency vs processors
 //	benchtab -ablate repl     # Table 3 with replacement disabled (A2)
 //	benchtab -ablate merge    # Table 3 with merging disabled (A3)
@@ -27,14 +28,14 @@ import (
 
 func main() {
 	var (
-		table     = flag.String("table", "", "print only table N (1..4, W, T, P or R)")
+		table     = flag.String("table", "", "print only table N (1..4, W, T, P, R or H)")
 		fig       = flag.Int("fig", 0, "print only figure N (1, 3 or 4)")
 		workers   = flag.Int("p", 8, "worker count for dynamic measurements")
 		ablate    = flag.String("ablate", "", "ablation for table 3: repl or merge")
 		gantt     = flag.String("gantt", "", "render a simulated execution gantt for the named kernel (software-DSM costs)")
-		kernels   = flag.String("kernels", "", "comma-separated kernel subset for table T (default: all)")
-		outJSON   = flag.String("out", "", "with -table T or P: also write the report as a versioned JSON envelope to this file (BENCH_exec.json / BENCH_pool.json)")
-		samples   = flag.Int("samples", 0, "with -table P: pooled/cold cycles per worker count (default 300)")
+		kernels   = flag.String("kernels", "", "comma-separated kernel subset for table T or H (default: all)")
+		outJSON   = flag.String("out", "", "with -table T, P or H: also write the report as a versioned JSON envelope to this file (BENCH_exec.json / BENCH_pool.json / BENCH_profile.json)")
+		samples   = flag.Int("samples", 0, "with -table P: pooled/cold cycles per worker count (default 300); with -table H: interleaved runs per kernel (default 10)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "with -table P: also run the stall-injected retry/fallback leg seeded here (0 skips it)")
 	)
 	flag.Parse()
@@ -48,9 +49,9 @@ func main() {
 
 	tbl := strings.ToUpper(*table)
 	switch tbl {
-	case "", "1", "2", "3", "4", "W", "T", "P", "R":
+	case "", "1", "2", "3", "4", "W", "T", "P", "R", "H":
 	default:
-		fail(fmt.Errorf("unknown -table %q (want 1..4, W, T, P or R)", *table))
+		fail(fmt.Errorf("unknown -table %q (want 1..4, W, T, P, R or H)", *table))
 	}
 
 	opt := suite.MeasureOptions{Workers: *workers}
@@ -146,6 +147,34 @@ func main() {
 				fail(err)
 			}
 			if err := suite.WritePoolBenchJSON(f, rep); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *outJSON)
+		}
+	}
+	if tbl == "H" {
+		// Table H is opt-in (not part of the run-everything default): each
+		// kernel runs -samples times with tracing on, which dominates a
+		// full-suite pass.
+		var names []string
+		if *kernels != "" {
+			names = strings.Split(*kernels, ",")
+		}
+		rep, err := suite.MeasureProfileBench(names, *workers, *samples)
+		if err != nil {
+			fail(err)
+		}
+		suite.TableH(os.Stdout, rep)
+		fmt.Println()
+		if *outJSON != "" {
+			f, err := os.Create(*outJSON)
+			if err != nil {
+				fail(err)
+			}
+			if err := suite.WriteProfileBenchJSON(f, rep); err != nil {
 				fail(err)
 			}
 			if err := f.Close(); err != nil {

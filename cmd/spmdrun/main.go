@@ -39,10 +39,13 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/envelope"
 	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/profile"
 	"repro/internal/remarks"
 	"repro/internal/spmdrt"
 	"repro/internal/suite"
@@ -134,6 +137,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut = fs.String("trace", "", "record sync events and write a Chrome trace-event JSON file (view in ui.perfetto.dev)")
 		traceSum = fs.Bool("trace-summary", false, "record sync events and print per-site wait/imbalance summary to stderr")
 		traceCap = fs.Int("trace-buf", 0, "per-worker trace ring capacity in events (0 = default 65536; oldest events drop when full)")
+
+		profileOut  = fs.String("profile-out", "", "write the run's durable sync profile as an envelope-wrapped JSON file (forces tracing; merge/diff with spmdprof)")
+		ledgerPath  = fs.String("ledger", "", "append one envelope-wrapped record (profile + compile costs + result metadata) to this run-ledger file (forces tracing)")
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus text exposition on this address at /metrics (debug listener; expvar stays on /debug/vars)")
 	)
 	fs.Var(params, "param", "program parameter NAME=VALUE (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -198,6 +205,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	// Profiles and ledger records need the wait sketches only the trace
+	// provides, so -profile-out/-ledger force tracing like -report does.
+	// The notice keeps the forcing visible without touching stdout.
+	traceAsked := *traceOut != "" || *traceSum
+	traceForced := !traceAsked && (*report || *profileOut != "" || *ledgerPath != "")
+	if traceForced {
+		why := "-report"
+		switch {
+		case *profileOut != "":
+			why = "-profile-out"
+		case *ledgerPath != "":
+			why = "-ledger"
+		}
+		fmt.Fprintf(stderr, "spmdrun: tracing auto-enabled by %s (sync events recorded this run)\n", why)
+	}
+	if *metricsAddr != "" {
+		srv, err := metrics.Serve(*metricsAddr)
+		if err != nil {
+			return fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "metrics:  serving http://%s/metrics (Prometheus text exposition)\n", srv.Addr)
+	}
 	cfg := exec.Config{Workers: *workers, Barrier: bk, Params: params,
 		Backend:                 be,
 		DeterministicReductions: *det,
@@ -206,7 +236,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ChaosStall:              *chaosStall,
 		SabotageEdge:            *sabotage,
 		Sanitize:                *sanitize,
-		Trace:                   *traceOut != "" || *traceSum || *report,
+		Trace:                   traceAsked || traceForced,
 		TraceBufCap:             *traceCap,
 		NoPool:                  !*poolOn}
 	if *deadline > 0 || *retries > 0 || *seqFall {
@@ -305,6 +335,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, synctrace.Summarize(res.Trace))
 	}
 
+	// Verify computes its verdict before the profile/ledger emission so a
+	// FAIL still lands in the ledger record; the failure exit follows.
+	verdict := ""
+	var verifyErr error
 	if *verify {
 		ref, err := c.RunSequential(params)
 		if err != nil {
@@ -316,8 +350,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "verify:   max |parallel - sequential| = %g\n", d)
 		}
 		if d > 1e-9 {
-			return fail(fmt.Errorf("parallel execution diverged from sequential semantics"))
+			verdict = "FAIL"
+			verifyErr = fmt.Errorf("parallel execution diverged from sequential semantics")
+		} else {
+			verdict = "PASS"
 		}
+	}
+	if *profileOut != "" || *ledgerPath != "" || *metricsAddr != "" {
+		prof := runner.Profile(res)
+		metrics.SetProfile(prof)
+		if *profileOut != "" {
+			if err := profile.WriteFile(*profileOut, prof); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stderr, "profile:  %d site(s) -> %s\n", len(prof.Sites), *profileOut)
+		}
+		if *ledgerPath != "" {
+			rec := runner.LedgerRecord(res, verdict, time.Now())
+			rec.Profile = prof
+			if err := profile.AppendLedger(*ledgerPath, rec); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stderr, "ledger:   1 record appended -> %s\n", *ledgerPath)
+		}
+	}
+	if verifyErr != nil {
+		return fail(verifyErr)
 	}
 	if *report && !*jsonOut {
 		// The report is part of the requested result, not a diagnostic:

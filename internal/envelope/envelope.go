@@ -32,6 +32,13 @@ const (
 	ToolBench     = "benchtab-exec"
 	ToolPoolBench = "benchtab-pool"
 	ToolRemarks   = "barrierc-remarks"
+	// ToolProfile wraps a durable sync profile (spmdrun -profile-out,
+	// spmdprof merge); ToolLedger wraps one run-ledger record (the
+	// line-oriented spmdrun -ledger format); ToolProfBench wraps the
+	// Table H profile-trend report (BENCH_profile.json).
+	ToolProfile   = "spmd-profile"
+	ToolLedger    = "spmdrun-ledger"
+	ToolProfBench = "benchtab-profile"
 )
 
 // Envelope is the wrapper around one tool artifact.
@@ -70,6 +77,29 @@ func Write(w io.Writer, tool string, payload any) error {
 	}
 	_, err = w.Write(b)
 	return err
+}
+
+// WrapLine marshals payload inside a versioned envelope on a single line
+// with a trailing newline — the record format of append-only ledgers,
+// where one envelope per line keeps appends atomic-ish and lets readers
+// recover record boundaries without a streaming JSON parser.
+func WrapLine(tool string, payload any) ([]byte, error) {
+	if tool == "" {
+		return nil, fmt.Errorf("envelope: empty tool name")
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("envelope: marshal %s payload: %w", tool, err)
+	}
+	b, err := json.Marshal(&Envelope{
+		SchemaVersion: SchemaVersion,
+		Tool:          tool,
+		Payload:       raw,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("envelope: marshal %s: %w", tool, err)
+	}
+	return append(b, '\n'), nil
 }
 
 // Decode parses and validates an envelope: the schema version must be a

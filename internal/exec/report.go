@@ -17,10 +17,11 @@ func (r *Runner) SiteRuntimes(res *Result) map[int]remarks.SiteRuntime {
 	if res == nil {
 		return out
 	}
-	for id, c := range res.Stats.PerSite {
+	for _, id := range res.Stats.SiteIDs() {
 		if id < 1 || id > r.nSites {
 			continue
 		}
+		c := res.Stats.PerSite[id]
 		sr := out[id]
 		sr.Barriers = c.Barriers
 		sr.CounterIncrs = c.CounterIncrs

@@ -1,0 +1,171 @@
+// Package metrics renders the process's observability surfaces in
+// Prometheus text exposition format (version 0.0.4): the expvar gauges
+// the runtime already publishes ("team_pool" from the persistent-team
+// pool, "barrier_analysis" from the compile side) plus per-site summaries
+// of the most recent sync profile. `spmdrun -metrics-addr` serves it on a
+// debug listener; the `barrierd` service (ROADMAP item 4) will reuse the
+// same handler as its scrape endpoint.
+//
+// Output is deterministic: metric families are sorted by name, label sets
+// by site id, so two scrapes of identical state are byte-identical.
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/profile"
+)
+
+// namePrefix is prepended to every exported metric family.
+const namePrefix = "spmd_"
+
+// latest is the most recent profile installed with SetProfile.
+var latest atomic.Pointer[profile.Profile]
+
+// SetProfile installs the profile whose per-site summaries the next
+// scrape reports (typically the profile of the run that just finished).
+func SetProfile(p *profile.Profile) { latest.Store(p) }
+
+// expvarGauges are the process-wide expvar surfaces exported as gauge
+// families: each numeric field of the published value becomes
+// spmd_<var>_<field>.
+var expvarGauges = []string{"team_pool", "barrier_analysis"}
+
+// flatten extracts the numeric leaves of an expvar value (rendered as
+// JSON by expvar's contract) into name→value pairs.
+func flatten(jsonText string) map[string]float64 {
+	var raw map[string]json.Number
+	if err := json.Unmarshal([]byte(jsonText), &raw); err != nil {
+		return nil
+	}
+	out := make(map[string]float64, len(raw))
+	for k, n := range raw {
+		if v, err := n.Float64(); err == nil {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// writeFamily emits one metric family header plus its samples.
+func writeFamily(w io.Writer, name, help string, samples []sample) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+	for _, s := range samples {
+		if s.labels == "" {
+			fmt.Fprintf(w, "%s %v\n", name, s.value)
+		} else {
+			fmt.Fprintf(w, "%s{%s} %v\n", name, s.labels, s.value)
+		}
+	}
+}
+
+type sample struct {
+	labels string
+	value  float64
+}
+
+// WriteProm renders the full exposition: expvar gauges first, then the
+// per-site summaries of the latest profile.
+func WriteProm(w io.Writer) {
+	for _, varName := range expvarGauges {
+		v := expvar.Get(varName)
+		if v == nil {
+			continue
+		}
+		fields := flatten(v.String())
+		names := make([]string, 0, len(fields))
+		for k := range fields {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			writeFamily(w, namePrefix+varName+"_"+k,
+				fmt.Sprintf("expvar %s field %s.", varName, k),
+				[]sample{{value: fields[k]}})
+		}
+	}
+
+	p := latest.Load()
+	if p == nil || len(p.Sites) == 0 {
+		return
+	}
+	runs := float64(p.Runs)
+	if runs == 0 {
+		runs = 1
+	}
+	siteLabels := func(sp *profile.SiteProfile, extra string) string {
+		l := fmt.Sprintf(`site="%d",kind="%s"`, sp.Site, sp.Kind)
+		if extra != "" {
+			l += "," + extra
+		}
+		return l
+	}
+	var ops, waitNS, quant, episodes, slackNS []sample
+	for i := range p.Sites {
+		sp := &p.Sites[i]
+		ops = append(ops, sample{siteLabels(sp, ""), float64(sp.Ops) / runs})
+		waitNS = append(waitNS, sample{siteLabels(sp, ""), float64(sp.Wait.SumNS) / runs})
+		for _, q := range []struct {
+			q float64
+			l string
+		}{{0.5, "0.5"}, {0.99, "0.99"}} {
+			quant = append(quant, sample{
+				siteLabels(sp, fmt.Sprintf(`quantile="%s"`, q.l)),
+				float64(p.Sites[i].Wait.Quantile(q.q)),
+			})
+		}
+		if sp.Episodes > 0 {
+			episodes = append(episodes, sample{siteLabels(sp, ""), float64(sp.Episodes) / runs})
+			slackNS = append(slackNS, sample{siteLabels(sp, ""), float64(sp.SlackSumNS) / runs})
+		}
+	}
+	writeFamily(w, namePrefix+"site_sync_ops",
+		"Dynamic sync operations per run at the site (latest profile).", ops)
+	writeFamily(w, namePrefix+"site_wait_ns_total",
+		"Blocking wait nanoseconds per run at the site (latest profile).", waitNS)
+	writeFamily(w, namePrefix+"site_wait_ns",
+		"Blocking wait quantiles in nanoseconds at the site (latest profile).", quant)
+	if len(episodes) > 0 {
+		writeFamily(w, namePrefix+"site_barrier_episodes",
+			"Barrier episodes per run at the site (latest profile).", episodes)
+		writeFamily(w, namePrefix+"site_barrier_slack_ns_total",
+			"Barrier arrival-slack nanoseconds per run at the site (latest profile).", slackNS)
+	}
+	writeFamily(w, namePrefix+"profile_runs",
+		"Runs aggregated into the latest installed profile.",
+		[]sample{{value: float64(p.Runs)}})
+}
+
+// Handler serves the exposition at any path (mount it on /metrics).
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w)
+	})
+}
+
+// Serve starts the debug listener (`spmdrun -metrics-addr`): /metrics
+// serves the Prometheus exposition, /debug/vars stays on expvar's default
+// handler via the default mux. Returns the listener error channel-free:
+// callers treat a bind failure as fatal configuration error.
+func Serve(addr string) (*http.Server, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Addr: addr, Handler: mux}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv.Addr = ln.Addr().String() // resolve ":0" for callers/logs
+	go srv.Serve(ln)
+	return srv, nil
+}

@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"bufio"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// parseExposition is a strict parser for the Prometheus text exposition
+// format (version 0.0.4), covering the subset this package emits: # HELP
+// and # TYPE comments, then samples `name{labels} value`. It returns the
+// sample values keyed by `name{labels}` and fails the test on any
+// malformed line, unknown family, or sample preceding its TYPE.
+func parseExposition(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	var (
+		nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$`)
+		samples  = map[string]float64{}
+		typed    = map[string]string{}
+		helpSeen = map[string]bool{}
+	)
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || !nameRe.MatchString(parts[0]) {
+				t.Fatalf("malformed HELP line: %q", line)
+			}
+			helpSeen[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 || !nameRe.MatchString(parts[0]) {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch parts[1] {
+			case "gauge", "counter", "summary", "histogram", "untyped":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			typed[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+		// Sample: name[{labels}] value
+		rest := line
+		name := rest
+		labels := ""
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			name = rest[:i]
+			j := strings.IndexByte(rest, '}')
+			if j < i {
+				t.Fatalf("unbalanced braces: %q", line)
+			}
+			labels = rest[i+1 : j]
+			rest = name + rest[j+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		if !nameRe.MatchString(fields[0]) {
+			t.Fatalf("bad metric name in %q", line)
+		}
+		if typed[fields[0]] == "" {
+			t.Fatalf("sample %q precedes its # TYPE", line)
+		}
+		if !helpSeen[fields[0]] {
+			t.Fatalf("sample %q has no # HELP", line)
+		}
+		for _, l := range strings.Split(labels, ",") {
+			if l != "" && !labelRe.MatchString(l) {
+				t.Fatalf("bad label %q in %q", l, line)
+			}
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		key := fields[0]
+		if labels != "" {
+			key += "{" + labels + "}"
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		samples[key] = v
+	}
+	return samples
+}
+
+// testProfile builds a two-site profile for the exposition tests.
+func testProfile() *profile.Profile {
+	p := &profile.Profile{
+		Schema: profile.Schema, Program: "jacobi2d",
+		ProgramHash: "a", ScheduleHash: "b",
+		Mode: "opt", Workers: 4, Backend: "chan", Runs: 2, SpanNS: 1000,
+	}
+	s1 := profile.SiteProfile{Site: 1, Kind: "barrier", Ops: 20, Episodes: 10,
+		SlackSumNS: 400, MaxSlackNS: 90, LastByWorker: []int64{1, 9}}
+	for i := 0; i < 20; i++ {
+		s1.Wait.Add(time.Duration(1000 + i))
+	}
+	s2 := profile.SiteProfile{Site: 4, Kind: "counter", Ops: 8}
+	for i := 0; i < 8; i++ {
+		s2.Wait.Add(time.Duration(500 + i))
+	}
+	p.Sites = []profile.SiteProfile{s1, s2}
+	return p
+}
+
+// TestHandlerServesValidExposition is the acceptance test: the endpoint
+// must serve text exposition that a strict parser accepts, carrying both
+// the expvar gauges and the per-site profile summaries.
+func TestHandlerServesValidExposition(t *testing.T) {
+	expvar.Publish("metrics_test_gauge", expvar.Func(func() any {
+		return map[string]any{"alpha": 3, "beta_ns": 4500}
+	}))
+	old := expvarGauges
+	expvarGauges = append([]string{"metrics_test_gauge"}, old...)
+	defer func() { expvarGauges = old }()
+
+	SetProfile(testProfile())
+	defer SetProfile(nil)
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q lacks exposition version", ct)
+	}
+	var sb strings.Builder
+	if _, err := fmt.Fprint(&sb, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, sb.String())
+
+	for key, want := range map[string]float64{
+		"spmd_metrics_test_gauge_alpha":                             3,
+		"spmd_metrics_test_gauge_beta_ns":                           4500,
+		`spmd_site_sync_ops{site="1",kind="barrier"}`:               10,
+		`spmd_site_sync_ops{site="4",kind="counter"}`:               4,
+		`spmd_site_barrier_episodes{site="1",kind="barrier"}`:       5,
+		`spmd_site_barrier_slack_ns_total{site="1",kind="barrier"}`: 200,
+		"spmd_profile_runs":                                         2,
+	} {
+		if got, ok := samples[key]; !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", key, got, ok, want)
+		}
+	}
+	if _, ok := samples[`spmd_site_wait_ns{site="1",kind="barrier",quantile="0.99"}`]; !ok {
+		t.Error("missing p99 wait quantile sample")
+	}
+	if _, ok := samples[`spmd_site_barrier_episodes{site="4",kind="counter"}`]; ok {
+		t.Error("counter site must not report barrier episodes")
+	}
+}
+
+// TestWritePromDeterministic: two scrapes of identical state are
+// byte-identical (the no-map-order guarantee).
+func TestWritePromDeterministic(t *testing.T) {
+	SetProfile(testProfile())
+	defer SetProfile(nil)
+	var a, b strings.Builder
+	WriteProm(&a)
+	WriteProm(&b)
+	if a.String() != b.String() {
+		t.Fatalf("scrapes differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestWritePromEmptyProfile: no installed profile still yields a valid
+// (possibly expvar-only) exposition.
+func TestWritePromEmptyProfile(t *testing.T) {
+	SetProfile(nil)
+	var sb strings.Builder
+	WriteProm(&sb)
+	parseExposition(t, sb.String())
+	if strings.Contains(sb.String(), "spmd_site_") {
+		t.Fatal("site families emitted with no profile installed")
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}

@@ -1,0 +1,259 @@
+// Package profile is the durable synchronization-profiling layer: a
+// schema-versioned, mergeable, diffable record of what every sync site
+// cost at run time. PR 2 and PR 5 made individual runs richly observable
+// (per-site wait quantiles, the static×runtime sync report) but all of it
+// evaporated at process exit; a Profile survives — written by
+// `spmdrun -profile-out`, appended per run to a ledger
+// (`spmdrun -ledger`), rolled up across runs with Merge, and compared
+// across builds or configurations with Diff — so feedback-directed
+// re-optimization (`-profile-in`, ROADMAP item 1) and the `barrierd`
+// dashboards (item 4) have measured per-site cost history to consume.
+//
+// Site ids are the global 1-based sync-site numbering shared with the
+// optimization remarks, the watchdog's deadlock reports,
+// spmdrt.StatsSnapshot.PerSite, exec.Config.SabotageEdge and
+// certify.DropSite — the invariant suite.TestSiteNumberingAgreement pins.
+// Sites are kept sorted by id so serialization is byte-stable.
+//
+// The package is a leaf on the analysis/runtime seam: it imports only
+// internal/envelope (serialization) and internal/remarks (the ledger
+// carries the compile's cost bill), never the executor or the optimizer.
+package profile
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Schema is the profile payload schema emitted by this build. Readers
+// reject payloads whose schema is newer; older schemas are accepted as
+// long as the fields decode (there are none yet).
+const Schema = 1
+
+// SiteProfile is the durable per-site record: the site's scheduled
+// primitive, its dynamic operation count, the mergeable wait-time sketch,
+// and barrier-imbalance / straggler attribution.
+type SiteProfile struct {
+	// Site is the 1-based global sync-site id.
+	Site int `json:"site"`
+	// Kind is the scheduled primitive ("barrier", "counter", "neighbor"),
+	// matching remarks.Remark.Primitive at the same site.
+	Kind string `json:"kind"`
+	// Ops is the dynamic sync-operation count at the site (barrier
+	// episodes + counter incrs/waits + neighbor waits), summed across the
+	// aggregated runs.
+	Ops int64 `json:"ops"`
+	// Wait is the sketch of every blocking wait recorded at the site.
+	Wait Sketch `json:"wait"`
+	// Barrier-imbalance attribution (barrier sites only): per-episode
+	// arrival slack and which worker most often arrived last. SlackSumNS
+	// rather than a mean so cross-run merging stays exact.
+	Episodes     int64   `json:"episodes,omitempty"`
+	SlackSumNS   int64   `json:"slack_sum_ns,omitempty"`
+	MaxSlackNS   int64   `json:"max_slack_ns,omitempty"`
+	LastByWorker []int64 `json:"last_by_worker,omitempty"`
+}
+
+// MeanSlack is the mean barrier-arrival slack per episode.
+func (s *SiteProfile) MeanSlack() time.Duration {
+	if s.Episodes == 0 {
+		return 0
+	}
+	return time.Duration(s.SlackSumNS / s.Episodes)
+}
+
+// Straggler returns the worker most often last to arrive and its share of
+// episodes; ok is false when no imbalance was attributed.
+func (s *SiteProfile) Straggler() (worker int, share float64, ok bool) {
+	if s.Episodes == 0 || len(s.LastByWorker) == 0 {
+		return 0, 0, false
+	}
+	for w, c := range s.LastByWorker {
+		if c > s.LastByWorker[worker] {
+			worker = w
+		}
+	}
+	return worker, float64(s.LastByWorker[worker]) / float64(s.Episodes), true
+}
+
+// Profile is one durable sync profile: the identity of what ran (program
+// content hash, schedule hash, configuration) plus the per-site records.
+// A profile may describe one run (Runs == 1) or a Merge rollup.
+type Profile struct {
+	Schema int `json:"profile_schema"`
+	// Program is the program name; ProgramHash is the content hash of its
+	// IR (core.Compiled.ProgramHash), so profiles from edited sources
+	// never merge.
+	Program     string `json:"program"`
+	ProgramHash string `json:"program_hash"`
+	// ScheduleHash identifies the exact synchronization schedule (site
+	// primitives, wait directions, boundary structure); a re-optimized
+	// schedule gets a new hash and its profiles form a new lineage.
+	ScheduleHash string `json:"schedule_hash"`
+	// Mode/Workers/Backend/Barrier pin the execution configuration.
+	Mode    string `json:"mode"`
+	Workers int    `json:"workers"`
+	Backend string `json:"backend"`
+	Barrier string `json:"barrier,omitempty"`
+	// ChaosSeed records deliberate perturbation (0 for clean runs; -1
+	// after merging profiles with differing seeds).
+	ChaosSeed int64 `json:"chaos_seed,omitempty"`
+	// Runs is the number of runs aggregated into this profile.
+	Runs int `json:"runs"`
+	// SpanNS sums the traced wall-clock span of the aggregated runs.
+	SpanNS int64 `json:"span_ns"`
+	// Sites holds one record per scheduled sync site that retains runtime
+	// synchronization, sorted by ascending site id.
+	Sites []SiteProfile `json:"sites"`
+}
+
+// Site returns the record for a 1-based site id, or nil.
+func (p *Profile) Site(id int) *SiteProfile {
+	for i := range p.Sites {
+		if p.Sites[i].Site == id {
+			return &p.Sites[i]
+		}
+	}
+	return nil
+}
+
+// TotalWait sums blocking wait time over all sites.
+func (p *Profile) TotalWait() time.Duration {
+	var ns int64
+	for i := range p.Sites {
+		ns += p.Sites[i].Wait.SumNS
+	}
+	return time.Duration(ns)
+}
+
+// TotalWaitSketch merges every site's wait sketch into one program-wide
+// wait distribution.
+func (p *Profile) TotalWaitSketch() *Sketch {
+	var s Sketch
+	for i := range p.Sites {
+		s.Merge(&p.Sites[i].Wait)
+	}
+	return &s
+}
+
+// normalize sorts sites by id (the serialization order every emitter must
+// use) and validates basic invariants.
+func (p *Profile) normalize() error {
+	sort.Slice(p.Sites, func(i, j int) bool { return p.Sites[i].Site < p.Sites[j].Site })
+	for i := range p.Sites {
+		if p.Sites[i].Site < 1 {
+			return fmt.Errorf("profile: invalid site id %d (ids are 1-based)", p.Sites[i].Site)
+		}
+		if i > 0 && p.Sites[i].Site == p.Sites[i-1].Site {
+			return fmt.Errorf("profile: duplicate site id %d", p.Sites[i].Site)
+		}
+	}
+	if p.Runs < 1 {
+		return fmt.Errorf("profile: runs=%d, want >= 1", p.Runs)
+	}
+	return nil
+}
+
+// Compatible reports whether two profiles describe the same (program,
+// schedule, configuration) and may therefore be merged or diffed; the
+// error names the first mismatching field.
+func (p *Profile) Compatible(o *Profile) error {
+	type field struct{ name, a, b string }
+	for _, f := range []field{
+		{"program", p.Program, o.Program},
+		{"program_hash", p.ProgramHash, o.ProgramHash},
+		{"schedule_hash", p.ScheduleHash, o.ScheduleHash},
+		{"mode", p.Mode, o.Mode},
+		{"workers", fmt.Sprint(p.Workers), fmt.Sprint(o.Workers)},
+		{"backend", p.Backend, o.Backend},
+	} {
+		if f.a != f.b {
+			return fmt.Errorf("profile: incompatible %s: %q vs %q", f.name, f.a, f.b)
+		}
+	}
+	return nil
+}
+
+// GroupKey is the ledger-grouping identity of a profile: profiles with
+// equal keys are Compatible.
+func (p *Profile) GroupKey() string {
+	return fmt.Sprintf("%s|%s|%s|%s|P%d|%s",
+		p.Program, p.ProgramHash, p.ScheduleHash, p.Mode, p.Workers, p.Backend)
+}
+
+// Merge aggregates compatible profiles into one rollup, weighted naturally
+// by each input's run count: ops, sketches, spans and imbalance vectors
+// add exactly, so a merge of merges equals the merge of the underlying
+// runs. Merging a single profile returns an identical copy (the byte
+// round-trip identity the determinism gate relies on).
+func Merge(ps ...*Profile) (*Profile, error) {
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("profile: nothing to merge")
+	}
+	base := ps[0]
+	out := &Profile{
+		Schema:      Schema,
+		Program:     base.Program,
+		ProgramHash: base.ProgramHash, ScheduleHash: base.ScheduleHash,
+		Mode: base.Mode, Workers: base.Workers,
+		Backend: base.Backend, Barrier: base.Barrier,
+		ChaosSeed: base.ChaosSeed,
+	}
+	// Indices, not pointers: out.Sites reallocates as it grows.
+	bySite := map[int]int{}
+	for _, p := range ps {
+		if err := base.Compatible(p); err != nil {
+			return nil, err
+		}
+		if p.Barrier != base.Barrier {
+			out.Barrier = ""
+		}
+		if p.ChaosSeed != base.ChaosSeed {
+			out.ChaosSeed = -1 // mixed perturbation lineage, keep it visible
+		}
+		out.Runs += p.Runs
+		out.SpanNS += p.SpanNS
+		for i := range p.Sites {
+			sp := &p.Sites[i]
+			idx, ok := bySite[sp.Site]
+			if !ok {
+				idx = len(out.Sites)
+				out.Sites = append(out.Sites, SiteProfile{Site: sp.Site, Kind: sp.Kind})
+				bySite[sp.Site] = idx
+			}
+			dst := &out.Sites[idx]
+			if dst.Kind != sp.Kind {
+				return nil, fmt.Errorf("profile: site %d is %q in one input, %q in another",
+					sp.Site, dst.Kind, sp.Kind)
+			}
+			dst.Ops += sp.Ops
+			dst.Wait.Merge(&sp.Wait)
+			dst.Episodes += sp.Episodes
+			dst.SlackSumNS += sp.SlackSumNS
+			if sp.MaxSlackNS > dst.MaxSlackNS {
+				dst.MaxSlackNS = sp.MaxSlackNS
+			}
+			for len(dst.LastByWorker) < len(sp.LastByWorker) {
+				dst.LastByWorker = append(dst.LastByWorker, 0)
+			}
+			for w, c := range sp.LastByWorker {
+				dst.LastByWorker[w] += c
+			}
+		}
+	}
+	if err := out.normalize(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HashBytes is the canonical content hash used for ProgramHash and
+// ScheduleHash: hex-encoded truncated SHA-256 over a deterministic
+// rendering of the hashed artifact.
+func HashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:12])
+}

@@ -168,17 +168,26 @@ func (s StatsSnapshot) String() string {
 		s.Barriers, s.CounterIncrs, s.CounterWaits, s.NeighborWaits, s.Dispatches)
 }
 
+// SiteIDs returns the active site ids in ascending order. Every consumer
+// that emits per-site output (profiles, reports, metrics) must iterate
+// PerSite through this, never the map directly, so emitted bytes are
+// independent of Go's randomized map order.
+func (s StatsSnapshot) SiteIDs() []int {
+	ids := make([]int, 0, len(s.PerSite))
+	for id := range s.PerSite {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 // PerSiteString renders the per-site counts, one line per active site in
 // site order; empty when the run was not site-attributed.
 func (s StatsSnapshot) PerSiteString() string {
 	if len(s.PerSite) == 0 {
 		return ""
 	}
-	ids := make([]int, 0, len(s.PerSite))
-	for id := range s.PerSite {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
+	ids := s.SiteIDs()
 	var sb strings.Builder
 	for _, id := range ids {
 		sc := s.PerSite[id]

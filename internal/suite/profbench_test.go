@@ -1,0 +1,111 @@
+package suite
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/profile"
+)
+
+// TestMeasureProfileBench smokes the Table H pipeline on two kernels:
+// every row must carry merged quantiles consistent with its total wait
+// and a top site drawn from the profiled site set.
+func TestMeasureProfileBench(t *testing.T) {
+	rep, err := MeasureProfileBench([]string{"jacobi1d", "pipeline"}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 || rep.Runs != 2 || rep.Workers != 4 {
+		t.Fatalf("bad report shape: %+v", rep)
+	}
+	for _, r := range rep.Rows {
+		if r.Sites == 0 {
+			t.Errorf("%s: no sync sites profiled", r.Kernel)
+		}
+		if r.WaitNS < 0 || r.P99NS < r.P50NS {
+			t.Errorf("%s: inconsistent quantiles p50=%d p99=%d", r.Kernel, r.P50NS, r.P99NS)
+		}
+		if r.Sites > 0 && r.TopSite == 0 {
+			t.Errorf("%s: sites profiled but no top site named", r.Kernel)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteProfileBenchJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Tool    string             `json:"tool"`
+		Payload ProfileBenchReport `json:"payload"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Tool != "benchtab-profile" || len(env.Payload.Rows) != 2 {
+		t.Fatalf("bad BENCH_profile envelope: tool=%q rows=%d", env.Tool, len(env.Payload.Rows))
+	}
+}
+
+// TestProfilingOverheadGuard pins the cost of the durable-profile path:
+// building and encoding a Profile after each traced run (what spmdrun
+// -profile-out adds over -trace alone) must stay within 3% of the
+// tracing-on baseline. Env-gated like TestTracingOverheadGuard so the
+// timing comparison never runs under plain 'go test ./...'.
+func TestProfilingOverheadGuard(t *testing.T) {
+	if os.Getenv("OVERHEAD_GUARD") == "" {
+		t.Skip("timing guard; set OVERHEAD_GUARD=1 to run (scripts/check.sh does)")
+	}
+	k, err := Get("jacobi2d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(withProfile bool) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 7; i++ {
+			r, err := c.NewRunner(exec.Config{Workers: 4, Params: k.Params,
+				Mode: exec.SPMD, Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			res, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if withProfile {
+				if _, err := profile.Encode(r.Profile(res)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	traced := measure(false)
+	profiled := measure(true)
+	t.Logf("tracing on: %s   +profile build/encode: %s   (min of 7)", traced, profiled)
+
+	tol := 0.03
+	if s := os.Getenv("PROFILE_TOL"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad PROFILE_TOL=%q: %v", s, err)
+		}
+		tol = v
+	}
+	if float64(profiled) > float64(traced)*(1+tol) {
+		t.Errorf("profile build overhead %.1f%% exceeds %.0f%% of the tracing-on baseline",
+			100*(float64(profiled)/float64(traced)-1), 100*tol)
+	}
+}

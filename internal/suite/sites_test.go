@@ -27,7 +27,8 @@ func TestSiteNumberingAgreement(t *testing.T) {
 				t.Fatal(err)
 			}
 			runner, err := c.NewRunner(exec.Config{
-				Workers: 4, Params: k.Params, Mode: exec.SPMD, Sanitize: true})
+				Workers: 4, Params: k.Params, Mode: exec.SPMD, Sanitize: true,
+				Trace: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -109,6 +110,39 @@ func TestSiteNumberingAgreement(t *testing.T) {
 						t.Errorf("neighbor site %d executed non-neighbor events %+v", id, sc)
 					}
 				}
+			}
+
+			// Profile: the durable per-site records must use the same ids
+			// and primitives as the remarks (acceptance: profile site ids
+			// identical to remarks/certifier numbering). Ops must match the
+			// runtime stats exactly, and no eliminated or pseudo-site may
+			// leak into the profile.
+			prof := runner.Profile(res)
+			for i := range prof.Sites {
+				sp := &prof.Sites[i]
+				if sp.Site < 1 || sp.Site > n {
+					t.Errorf("profile records out-of-range site id %d (schedule has %d)", sp.Site, n)
+					continue
+				}
+				if i > 0 && prof.Sites[i-1].Site >= sp.Site {
+					t.Errorf("profile sites not strictly ascending at index %d", i)
+				}
+				r := set.BySite(sp.Site)
+				if r.Eliminated() {
+					t.Errorf("profile records eliminated site %d", sp.Site)
+					continue
+				}
+				if sp.Kind != r.Primitive {
+					t.Errorf("site %d: profile kind %q, remark primitive %q",
+						sp.Site, sp.Kind, r.Primitive)
+				}
+				sc := res.Stats.PerSite[sp.Site]
+				if ops := sc.Barriers + sc.CounterIncrs + sc.CounterWaits + sc.NeighborWaits; sp.Ops != ops {
+					t.Errorf("site %d: profile ops %d, stats ops %d", sp.Site, sp.Ops, ops)
+				}
+			}
+			if prof.ProgramHash == "" || prof.ScheduleHash == "" {
+				t.Error("profile identity hashes empty")
 			}
 
 			// Baseline remarks must carry the baseline runner's numbering

@@ -6,8 +6,12 @@
 # trace-export and Table W smokes, the tracing overhead guard, the
 # closure/interp backend-parity gate, the Table T throughput smoke
 # with its BENCH_exec.json envelope validation, the pooled 16-kernel
-# chaos+sanitizer reuse sweep, and the Table P team-provisioning smoke
-# with its BENCH_pool.json envelope validation.
+# chaos+sanitizer reuse sweep, the Table P team-provisioning smoke
+# with its BENCH_pool.json envelope validation, the durable-profile
+# round trip (16-kernel -profile-out/-ledger sweep, byte-identity merge
+# gate, 10-run baseline, chaos-stall regression watch), the profiling
+# overhead guard, and the Table H profile-rollup smoke with its
+# BENCH_profile.json envelope validation.
 # Run from anywhere; operates on the repository containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,7 +34,7 @@ echo "== go test -race =="
 go test -race ./...
 
 barrierc="$(mktemp -t barrierc.XXXXXX)"
-trap 'rm -f "$barrierc" "${trace_tmp:-}" "${bench_tmp:-}" "${pool_tmp:-}"' EXIT
+trap 'rm -f "$barrierc" "${spmdrun_bin:-}" "${spmdprof_bin:-}" "${trace_tmp:-}" "${bench_tmp:-}" "${pool_tmp:-}" "${profh_tmp:-}"; rm -rf "${prof_dir:-}"' EXIT
 go build -o "$barrierc" ./cmd/barrierc
 
 echo "== lint smoke (barrierc -lint) =="
@@ -224,6 +228,106 @@ print(f"-- BENCH_pool.json valid; P=8 provisioning speedup {s:.2f}x")
 EOF
 fi
 rm -f "$pool_tmp"
+
+echo "== profiling overhead guard =="
+# The durable-profile path (-profile-out): building and encoding the
+# profile after a traced run must cost <= 3% over the tracing-on
+# baseline. Env-gated like the tracing guard.
+OVERHEAD_GUARD=1 go test -run TestProfilingOverheadGuard ./internal/suite -count=1 -v
+
+echo "== durable profile round trip (spmdrun -profile-out/-ledger + spmdprof) =="
+spmdrun_bin="$(mktemp -t spmdrun.XXXXXX)"
+spmdprof_bin="$(mktemp -t spmdprof.XXXXXX)"
+go build -o "$spmdrun_bin" ./cmd/spmdrun
+go build -o "$spmdprof_bin" ./cmd/spmdprof
+prof_dir="$(mktemp -d -t spmdprofiles.XXXXXX)"
+
+# 16-kernel sweep: every suite kernel emits a durable profile and appends
+# a record to one shared ledger; the ledger summary must see every kernel
+# as its own (program, schedule, config) group.
+nkernels=0
+while read -r k _; do
+    "$spmdrun_bin" -kernel "$k" -p 4 \
+        -profile-out "$prof_dir/$k.json" -ledger "$prof_dir/sweep.jsonl" \
+        >/dev/null 2>/dev/null || {
+        echo "ERROR: kernel $k failed with -profile-out/-ledger" >&2
+        exit 1
+    }
+    nkernels=$((nkernels + 1))
+done < <("$barrierc" -list)
+sweep_summary="$("$spmdprof_bin" ledger "$prof_dir/sweep.jsonl")"
+echo "$sweep_summary" | grep -qF "$nkernels record(s), $nkernels group(s)" || {
+    echo "ERROR: sweep ledger does not show $nkernels one-run groups" >&2
+    echo "$sweep_summary" | head -n 1 >&2
+    exit 1
+}
+echo "-- $nkernels kernels swept; ledger groups match"
+
+# Round-trip determinism gate: spmdprof merge of a single profile must
+# re-emit its exact bytes (same sketch, same ordering, same envelope).
+"$spmdprof_bin" merge "$prof_dir/jacobi2d.json" >"$prof_dir/roundtrip.json"
+cmp -s "$prof_dir/jacobi2d.json" "$prof_dir/roundtrip.json" || {
+    echo "ERROR: merge of one profile is not byte-identical to its input" >&2
+    exit 1
+}
+echo "-- single-profile merge byte-identical (round-trip determinism)"
+
+# 10-run jacobi2d baseline: merge must succeed and a clean 11th run must
+# diff quiet (exit 0); an injected chaos-stall run must be flagged
+# (exit 1) and the ledger watch must name it.
+for i in $(seq 1 10); do
+    "$spmdrun_bin" -kernel jacobi2d -p 4 -param N=64 -param T=4 \
+        -profile-out "$prof_dir/j$i.json" -ledger "$prof_dir/jacobi.jsonl" \
+        >/dev/null 2>/dev/null
+done
+"$spmdprof_bin" merge -o "$prof_dir/baseline.json" "$prof_dir"/j[0-9]*.json 2>/dev/null
+"$spmdrun_bin" -kernel jacobi2d -p 4 -param N=64 -param T=4 \
+    -profile-out "$prof_dir/clean.json" >/dev/null 2>/dev/null
+"$spmdprof_bin" diff "$prof_dir/baseline.json" "$prof_dir/clean.json" >/dev/null || {
+    echo "ERROR: clean run flagged as regression against its own baseline" >&2
+    exit 1
+}
+"$spmdrun_bin" -kernel jacobi2d -p 4 -param N=64 -param T=4 \
+    -chaos-seed 7 -chaos-stall 5ms \
+    -profile-out "$prof_dir/chaos.json" -ledger "$prof_dir/jacobi.jsonl" \
+    >/dev/null 2>/dev/null
+rc=0; "$spmdprof_bin" diff "$prof_dir/baseline.json" "$prof_dir/chaos.json" \
+    >"$prof_dir/diff.txt" || rc=$?
+if [ "$rc" -ne 1 ] || ! grep -q "regression" "$prof_dir/diff.txt"; then
+    echo "ERROR: injected 5ms chaos stall not flagged (exit $rc)" >&2
+    cat "$prof_dir/diff.txt" >&2
+    exit 1
+fi
+rc=0; "$spmdprof_bin" ledger -watch "$prof_dir/jacobi.jsonl" \
+    >"$prof_dir/watch.txt" || rc=$?
+if [ "$rc" -ne 1 ] || ! grep -q "worst site" "$prof_dir/watch.txt"; then
+    echo "ERROR: ledger watch missed the chaos-stall run (exit $rc)" >&2
+    cat "$prof_dir/watch.txt" >&2
+    exit 1
+fi
+echo "-- 10-run baseline quiet on clean run; chaos stall flagged by diff and ledger watch"
+
+echo "== benchtab Table H smoke (BENCH_profile.json) =="
+# The sync-wait profile rollup must build and emit a valid versioned
+# JSON envelope with per-kernel merged quantiles.
+profh_tmp="$(mktemp -t benchprofile.XXXXXX.json)"
+go run ./cmd/benchtab -table H -p 4 -kernels jacobi2d,pipeline -samples 4 \
+    -out "$profh_tmp" | tail -n 3
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$profh_tmp" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema_version"] == 1, d
+assert d["tool"] == "benchtab-profile", d
+rows = {r["kernel"]: r for r in d["payload"]["rows"]}
+for k in ("jacobi2d", "pipeline"):
+    assert k in rows, f"{k} missing from BENCH_profile.json"
+    r = rows[k]
+    assert r["sites"] > 0 and r["p99_ns"] >= r["p50_ns"] >= 0, r
+print("-- BENCH_profile.json valid; p99:",
+      ", ".join(f"{k}={rows[k]['p99_ns']}ns" for k in rows))
+EOF
+fi
 
 echo "== sabotage must be caught =="
 # Dropping a scheduled sync edge has to make spmdrun fail (sanitizer
