@@ -8,6 +8,7 @@
 //	barrierc [-explain] [-cyclic] [-ablate repl|merge] <file.dsl>
 //	barrierc -kernel jacobi2d -explain
 //	barrierc -kernel jacobi2d -remarks [-json]
+//	barrierc -kernel permcopy -irreg
 //	barrierc -lint <file.dsl>
 //	barrierc -kernel jacobi1d -certify [-sabotage N] [-witness]
 //	barrierc -list
@@ -22,6 +23,13 @@
 // (1-based, the executor's SabotageEdge numbering) first, and -witness
 // renders a rejection in the same envelope including the concrete
 // counterexample witnesses.
+//
+// With -irreg the irregular-access value analysis is printed: the facts
+// the forward-dataflow lattice established for every index array and
+// guarded scalar (content, element range, monotonicity, injectivity,
+// initialized cover), followed by the per-site decisions the facts paid
+// for — boundaries eliminated on value evidence and boundaries lowered
+// to runtime inspector scans.
 //
 // With -remarks the per-sync-site optimization remarks are printed: for
 // every site (the executor's 1-based numbering), the primitive chosen, the
@@ -41,6 +49,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/envelope"
 	"repro/internal/lint"
+	"repro/internal/remarks"
 	"repro/internal/suite"
 	"repro/internal/syncopt"
 )
@@ -57,6 +66,7 @@ func main() {
 		sabot    = flag.Int("sabotage", 0, "with -certify: demote sync site N (1-based) to none before checking")
 		witness  = flag.Bool("witness", false, "with -certify: print rejections as JSON including witnesses")
 		remarksF = flag.Bool("remarks", false, "print per-sync-site optimization remarks (why each site was kept, weakened or eliminated)")
+		irregF   = flag.Bool("irreg", false, "print the irregular-access value facts and the sync decisions they enabled")
 		jsonOut  = flag.Bool("json", false, "with -remarks: print the remark set as a versioned JSON envelope")
 	)
 	flag.Parse()
@@ -64,6 +74,9 @@ func main() {
 	if *list {
 		for _, k := range suite.Kernels() {
 			fmt.Printf("%-14s %s\n", k.Name, k.Shape)
+		}
+		for _, k := range suite.IrregularKernels() {
+			fmt.Printf("%-14s %s (irregular)\n", k.Name, k.Shape)
 		}
 		return
 	}
@@ -110,6 +123,11 @@ func main() {
 		return
 	}
 
+	if *irregF {
+		printIrreg(c)
+		return
+	}
+
 	if *remarksF {
 		set := c.Remarks()
 		if *jsonOut {
@@ -144,6 +162,63 @@ func main() {
 		bst.Barriers, st.Barriers, st.Counters, st.Neighbors)
 	fmt.Println("\nschedule:")
 	fmt.Print(c.Schedule.Dump())
+}
+
+// printIrreg renders the irregular-access story of a compiled program:
+// the value facts the forward-dataflow lattice established for index
+// arrays and guarded scalars, then every sync site whose decision the
+// facts enabled — boundaries eliminated on content/range evidence and
+// boundaries lowered to runtime inspector scans.
+func printIrreg(c *core.Compiled) {
+	fmt.Printf("program %s: irregular-access value analysis\n\n", c.Prog.Name)
+	if c.Facts == nil || (len(c.Facts.Arrays) == 0 && len(c.Facts.Scalars) == 0) {
+		fmt.Println("no facts established (no guarded setup prefix found)")
+		return
+	}
+	c.Facts.Dump(os.Stdout)
+
+	var elim, insp []string
+	for _, r := range c.Remarks().Remarks {
+		evidence := map[string]bool{}
+		var ev []string
+		for _, d := range r.Deps {
+			for _, f := range d.Irreg {
+				if !evidence[f] {
+					evidence[f] = true
+					ev = append(ev, f)
+				}
+			}
+		}
+		switch {
+		case r.Primitive == remarks.PrimInspector:
+			line := fmt.Sprintf("site %d (%s): runtime inspector scan", r.Site, r.Region)
+			for _, f := range ev {
+				line += "\n    " + f
+			}
+			insp = append(insp, line)
+		case r.Eliminated() && len(ev) > 0:
+			line := fmt.Sprintf("site %d (%s): eliminated on value facts", r.Site, r.Region)
+			for _, f := range ev {
+				line += "\n    " + f
+			}
+			elim = append(elim, line)
+		}
+	}
+	if len(elim) > 0 {
+		fmt.Println("\nboundaries eliminated by value facts:")
+		for _, l := range elim {
+			fmt.Println("  " + l)
+		}
+	}
+	if len(insp) > 0 {
+		fmt.Println("\nboundaries lowered to inspector scans:")
+		for _, l := range insp {
+			fmt.Println("  " + l)
+		}
+	}
+	if len(elim) == 0 && len(insp) == 0 {
+		fmt.Println("\nno sync decision used the facts (affine tier sufficed)")
+	}
 }
 
 // runCertify re-checks the compiled schedule (optionally sabotaged) with
@@ -195,6 +270,9 @@ func loadSource(kernel string, args []string) (src, name string, err error) {
 	if kernel != "" {
 		k, err := suite.Get(kernel)
 		if err != nil {
+			if ik, ierr := suite.GetIrregular(kernel); ierr == nil {
+				return ik.Source, ik.Name, nil
+			}
 			return "", "", err
 		}
 		return k.Source, k.Name, nil

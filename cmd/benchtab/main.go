@@ -9,6 +9,7 @@
 //	benchtab -table P -out BENCH_pool.json   # team pool reuse latency
 //	benchtab -table P -chaos-seed 1          # ...plus the retry/fallback leg
 //	benchtab -table H -out BENCH_profile.json # sync-wait profile rollup
+//	benchtab -table I -out BENCH_irreg.json   # irregular suite: inspector/executor
 //	benchtab -fig 1           # barrier latency vs processors
 //	benchtab -ablate repl     # Table 3 with replacement disabled (A2)
 //	benchtab -ablate merge    # Table 3 with merging disabled (A3)
@@ -22,19 +23,20 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/costsim"
+	"repro/internal/remarks"
 	"repro/internal/suite"
 	"repro/internal/syncopt"
 )
 
 func main() {
 	var (
-		table     = flag.String("table", "", "print only table N (1..4, W, T, P, R or H)")
+		table     = flag.String("table", "", "print only table N (1..4, W, T, P, R, H or I)")
 		fig       = flag.Int("fig", 0, "print only figure N (1, 3 or 4)")
 		workers   = flag.Int("p", 8, "worker count for dynamic measurements")
 		ablate    = flag.String("ablate", "", "ablation for table 3: repl or merge")
 		gantt     = flag.String("gantt", "", "render a simulated execution gantt for the named kernel (software-DSM costs)")
 		kernels   = flag.String("kernels", "", "comma-separated kernel subset for table T or H (default: all)")
-		outJSON   = flag.String("out", "", "with -table T, P or H: also write the report as a versioned JSON envelope to this file (BENCH_exec.json / BENCH_pool.json / BENCH_profile.json)")
+		outJSON   = flag.String("out", "", "with -table T, P, H or I: also write the report as a versioned JSON envelope to this file (BENCH_exec.json / BENCH_pool.json / BENCH_profile.json / BENCH_irreg.json)")
 		samples   = flag.Int("samples", 0, "with -table P: pooled/cold cycles per worker count (default 300); with -table H: interleaved runs per kernel (default 10)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "with -table P: also run the stall-injected retry/fallback leg seeded here (0 skips it)")
 	)
@@ -49,9 +51,9 @@ func main() {
 
 	tbl := strings.ToUpper(*table)
 	switch tbl {
-	case "", "1", "2", "3", "4", "W", "T", "P", "R", "H":
+	case "", "1", "2", "3", "4", "W", "T", "P", "R", "H", "I":
 	default:
-		fail(fmt.Errorf("unknown -table %q (want 1..4, W, T, P, R or H)", *table))
+		fail(fmt.Errorf("unknown -table %q (want 1..4, W, T, P, R, H or I)", *table))
 	}
 
 	opt := suite.MeasureOptions{Workers: *workers}
@@ -175,6 +177,36 @@ func main() {
 				fail(err)
 			}
 			if err := suite.WriteProfileBenchJSON(f, rep); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *outJSON)
+		}
+	}
+	if wantTables("I") {
+		ims, err := suite.MeasureIrregAll(opt)
+		if err != nil {
+			fail(err)
+		}
+		var sets []*remarks.Set
+		for _, m := range ims {
+			c, err := core.Compile(m.Kernel.Source, core.Options{Sync: opt.Sync})
+			if err != nil {
+				fail(err)
+			}
+			sets = append(sets, c.Remarks())
+		}
+		rows := suite.IrregRows(ims, sets)
+		suite.TableI(os.Stdout, rows)
+		fmt.Println()
+		if *outJSON != "" && tbl == "I" {
+			f, err := os.Create(*outJSON)
+			if err != nil {
+				fail(err)
+			}
+			if err := suite.WriteIrregBenchJSON(f, suite.NewIrregReport(rows)); err != nil {
 				fail(err)
 			}
 			if err := f.Close(); err != nil {

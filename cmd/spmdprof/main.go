@@ -196,6 +196,14 @@ func cmdTop(args []string, stdout, stderr io.Writer) int {
 		straggler := "-"
 		if w, share, ok := sp.Straggler(); ok {
 			straggler = fmt.Sprintf("w%d (last in %.0f%%)", w, share*100)
+		} else if sp.Scans > 0 {
+			// Inspector sites have no barrier episodes; show the scan
+			// outcome in the attribution column instead.
+			straggler = fmt.Sprintf("scans=%d empty=%d waits=%d", sp.Scans,
+				sp.EmptyCrossings, sp.WaitCrossings)
+			if sp.Conservative > 0 {
+				straggler += fmt.Sprintf(" conservative=%d", sp.Conservative)
+			}
 		}
 		fmt.Fprintf(stdout, "%-5d %-9s %10d %12s %10s %10s %10s  %s\n",
 			sp.Site, sp.Kind, sp.Ops/int64(p.Runs),

@@ -36,6 +36,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -96,6 +97,9 @@ type runPayload struct {
 	Violations     int      `json:"violations,omitempty"`
 	VerifyDiff     *float64 `json:"verify_max_abs_diff,omitempty"`
 	SanitizerClean *bool    `json:"sanitizer_clean,omitempty"`
+	// Inspector holds per-site runtime inspector statistics, keyed by the
+	// 1-based sync-site id (only on schedules with inspector sites).
+	Inspector map[int]exec.InspectorSite `json:"inspector,omitempty"`
 	// Report is the static↔runtime sync report (only with -report).
 	Report *remarks.Report `json:"report,omitempty"`
 }
@@ -166,7 +170,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *kernel != "" {
 		k, err := suite.Get(*kernel)
 		if err != nil {
-			return fail(err)
+			ik, ierr := suite.GetIrregular(*kernel)
+			if ierr != nil {
+				return fail(err)
+			}
+			k = ik
 		}
 		src = k.Source
 		for n, v := range k.Params {
@@ -283,6 +291,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pay.Sync.NeighborWaits = res.Stats.NeighborWaits
 	pay.Sync.Dispatches = res.Stats.Dispatches
 	pay.Violations = len(res.Certify.Violations)
+	pay.Inspector = res.Inspector
 	if *report {
 		pay.Report = runner.SyncReport(res)
 	}
@@ -303,6 +312,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "team:     %s\n", team)
 		fmt.Fprintf(stdout, "sync:     %s\n", res.Stats)
+		if len(res.Inspector) > 0 {
+			var scans, empty, waits, consrv int64
+			for _, is := range res.Inspector {
+				scans += is.Scans
+				empty += is.EmptyCrossings
+				waits += is.WaitCrossings
+				consrv += is.Conservative
+			}
+			fmt.Fprintf(stdout, "inspector: %d site(s), scans=%d empty=%d waits=%d conservative=%d\n",
+				len(res.Inspector), scans, empty, waits, consrv)
+		}
 		fmt.Fprintf(stdout, "checksum: %.10g\n", res.State.Checksum())
 		fmt.Fprintf(stdout, "certified: %v\n", res.Certify.Certified)
 	}
@@ -311,6 +331,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if ps := res.Stats.PerSiteString(); ps != "" {
 		fmt.Fprintln(stderr, "per-site dynamic sync counts:")
 		fmt.Fprintln(stderr, indent(ps))
+	}
+	if len(res.Inspector) > 0 {
+		ids := make([]int, 0, len(res.Inspector))
+		for id := range res.Inspector {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		fmt.Fprintln(stderr, "per-site inspector stats:")
+		for _, id := range ids {
+			is := res.Inspector[id]
+			fmt.Fprintf(stderr, "  site %d: scans=%d conflicts=%d empty=%d waits=%d conservative=%d\n",
+				id, is.Scans, is.Conflicts, is.EmptyCrossings, is.WaitCrossings, is.Conservative)
+		}
 	}
 	if res.Sanitizer != nil {
 		fmt.Fprintln(stderr, res.Sanitizer)

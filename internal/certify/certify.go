@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/decomp"
 	"repro/internal/ir"
+	"repro/internal/irreg"
 	"repro/internal/region"
 )
 
@@ -107,6 +108,11 @@ type OrderRec struct {
 	Iteration int    `json:"iteration,omitempty"`
 	Primitive string `json:"primitive"`
 	Site      int    `json:"site"`
+	// Conditional marks an inspector-ordered variant: the static proof
+	// covers the scan's precondition (every pair scan-resolvable), and
+	// the ordering itself holds given the inspector's runtime conflict
+	// resolution at the named site.
+	Conditional bool `json:"conditional,omitempty"`
 }
 
 // JSON renders the certificate.
@@ -127,6 +133,9 @@ func Analyze(prog *ir.Program, sched *Schedule, opts Options) *Analysis {
 	plan := decomp.Build(prog, opts.Decomp)
 	info := region.Classify(prog, plan.Wavefront)
 	a := newAnalyzer(prog, plan, info.Modes, opts.MinParam)
+	// The certifier recomputes the irregular-access lattice itself rather
+	// than trusting the optimizer's copy.
+	a.facts = irreg.Analyze(prog, info, opts.MinParam)
 	an := &Analysis{
 		prog:   prog,
 		dec:    opts.Decomp,
@@ -233,10 +242,12 @@ func (an *Analysis) Check(sched *Schedule) (*Certificate, []Violation) {
 					})
 					continue
 				}
+				kind := r.After[c.boundary].Kind
 				fc.OrderedBy = append(fc.OrderedBy, OrderRec{
 					Variant: v.String(), Boundary: c.boundary, Iteration: c.iter,
-					Primitive: r.After[c.boundary].Kind.String(),
-					Site:      siteID[siteKey{r.Loop, c.boundary}],
+					Primitive:   kind.String(),
+					Site:        siteID[siteKey{r.Loop, c.boundary}],
+					Conditional: kind == KindInspector,
 				})
 			}
 			if ok {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/decomp"
 	"repro/internal/ir"
+	"repro/internal/irreg"
 	"repro/internal/linear"
 	"repro/internal/region"
 )
@@ -54,6 +55,16 @@ type Flow struct {
 	Lower, Upper bool
 	// Pairs describes the access pairs behind the flow.
 	Pairs []string
+	// Inspectable reports that every communicating pair of the flow is one
+	// a runtime inspector scan can resolve: the certifier's own irregular-
+	// access facts prove the subscripts and chain bounds of both sides
+	// scan-evaluable from frozen index arrays. Only such flows may be
+	// ordered (conditionally) by a KindInspector boundary.
+	Inspectable bool
+	// inspectKeys are the flow's communicating pairs in key form, one per
+	// pair when Inspectable; a KindInspector boundary orders the flow only
+	// if its own scan list includes every one of them.
+	inspectKeys []InspectKey
 	// rep holds the feasibility systems of a representative communicating
 	// access pair, for witness extraction.
 	rep *pairRep
@@ -82,6 +93,11 @@ type analyzer struct {
 	plan   *decomp.Plan
 	modes  map[ir.Stmt]region.Mode
 	assume *linear.System
+	// facts is the certifier's own irregular-access lattice, recomputed
+	// from the IR (never taken from the optimizer): frozen index-array
+	// contents close otherwise non-affine systems, and scan-evaluability
+	// marks flows a runtime inspector can order.
+	facts *irreg.Facts
 	// oracleErrs records FM/enumeration disagreements (solver bugs).
 	oracleErrs []error
 	// oracleBudget limits how many infeasibility verdicts are
@@ -131,7 +147,7 @@ func (a *analyzer) feasible(sys *linear.System) bool {
 func (a *analyzer) between(X, Y []ir.Stmt, outer []*ir.Loop, carrier *ir.Loop) Flow {
 	accX := a.collect(X, outer, carrier)
 	accY := a.collect(Y, outer, carrier)
-	out := Flow{Class: FlowNone}
+	out := Flow{Class: FlowNone, Inspectable: true}
 	for _, x := range accX {
 		for _, y := range accY {
 			if x.name != y.name || (!x.write && !y.write) {
@@ -140,6 +156,11 @@ func (a *analyzer) between(X, Y []ir.Stmt, outer []*ir.Loop, carrier *ir.Loop) F
 			cls, lower, upper, rep := a.classify(x, y, outer, carrier)
 			if cls == FlowNone {
 				continue
+			}
+			if a.inspectRes(x, y, outer, carrier) {
+				out.inspectKeys = append(out.inspectKeys, inspectKeyOf(x, y, carrier))
+			} else {
+				out.Inspectable = false
 			}
 			if cls > out.Class {
 				out.Class = cls
@@ -162,6 +183,7 @@ type acc struct {
 	write     bool
 	scalar    bool
 	reduction bool
+	stmt      ir.Stmt    // the enclosing top-level group statement
 	chain     []*ir.Loop // enclosing loops inside the group statement
 	guards    []cond     // enclosing conditional branches
 	mode      region.Mode
@@ -205,6 +227,7 @@ func (a *analyzer) collect(stmts []ir.Stmt, outer []*ir.Loop, carrier *ir.Loop) 
 		emit := func(name string, ref *ir.Ref, write, scalar, reduction bool, chain []*ir.Loop, guards []cond) {
 			out = append(out, acc{
 				name: name, ref: ref, write: write, scalar: scalar, reduction: reduction,
+				stmt:   top,
 				chain:  append([]*ir.Loop(nil), chain...),
 				guards: append([]cond(nil), guards...),
 				mode:   mode,
@@ -499,6 +522,13 @@ func (ps *pairSys) addBounds(env *ir.AffineEnv, l *ir.Loop, v linear.Var) bool {
 // its processor block-origin variable.
 func (ps *pairSys) side(x acc, sfx string, carrierVar linear.Var) (linear.Var, bool) {
 	env := ps.envs[""].Clone()
+	// Frozen index arrays with affine content (the certifier's own irreg
+	// facts) resolve indirect subscripts and array-valued loop bounds to
+	// affine form. The hook is disabled for accesses inside the guarded
+	// setup statements that still define those arrays.
+	if f := ps.a.facts; f != nil && !f.Setup[x.stmt] {
+		env.SetArrayContent(f.Content)
+	}
 	idx := map[string]linear.Var{}
 	for k, v := range ps.idxVars[""] {
 		idx[k] = v

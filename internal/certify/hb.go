@@ -13,7 +13,11 @@ package certify
 //     known to be a poster;
 //   - a neighbor sync is posted by every worker but waited directionally,
 //     so it orders only neighbor-class flows whose wait direction it
-//     includes (checked per direction variant).
+//     includes (checked per direction variant);
+//   - an inspector is posted by every worker but its runtime waits cover
+//     exactly its recorded scan pairs, so it orders only flows whose
+//     pairs are all in that list and all provably scan-resolvable —
+//     conditionally, on the scan's runtime conflict resolution.
 //
 // The flow is certified when P's start reaches C's end by BFS — and the
 // first cross edge on that path names the ordering primitive for the
@@ -88,9 +92,10 @@ func crossingsOf(reg *Region, f *Flow) []crossing {
 	return out
 }
 
-// crossEdge reports whether the primitive at boundary c orders flow f's
-// given variant.
-func crossEdge(b Boundary, c crossing, f *Flow, v variant) bool {
+// crossEdge reports whether the primitive at the crossing's boundary
+// orders flow f's given variant.
+func crossEdge(reg *Region, c crossing, f *Flow, v variant) bool {
+	b := reg.After[c.boundary]
 	switch b.Kind {
 	case KindBarrier:
 		return true
@@ -106,6 +111,28 @@ func crossEdge(b Boundary, c crossing, f *Flow, v variant) bool {
 		case varUpper:
 			return b.WaitUpper
 		}
+	case KindInspector:
+		// An inspector posts unconditionally from every worker, but its
+		// waits cover exactly the pairs its runtime scan resolves — so the
+		// edge exists only when the boundary's recorded scan list includes
+		// every pair of the flow, and the certifier's own facts prove each
+		// pair scan-resolvable (Inspectable). Dropping a site that covered
+		// the flow can then never be masked by an unrelated inspector
+		// downstream. The resulting certification is conditional on the
+		// scan's runtime conflict resolution.
+		if !f.Inspectable || len(f.inspectKeys) == 0 {
+			return false
+		}
+		have := make(map[InspectKey]bool, len(b.Inspect))
+		for _, k := range b.Inspect {
+			have[k] = true
+		}
+		for _, k := range f.inspectKeys {
+			if !have[k] {
+				return false
+			}
+		}
+		return true
 	}
 	return false
 }
@@ -133,7 +160,7 @@ func hbOrdered(reg *Region, crossings []crossing, f *Flow, v variant) (crossing,
 	addEdge(cNode(m-1), end)
 	crossAt := make([]bool, m)
 	for k, c := range crossings {
-		if crossEdge(reg.After[c.boundary], c, f, v) {
+		if crossEdge(reg, c, f, v) {
 			crossAt[k] = true
 			addEdge(pNode(k), cNode(k))
 		}

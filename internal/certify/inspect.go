@@ -1,0 +1,130 @@
+package certify
+
+// Conditional certification of inspector boundaries. A KindInspector
+// boundary synthesizes its point-to-point waits at runtime from a
+// deterministic scan of the frozen index arrays, so the certifier cannot
+// prove the waits statically. What it CAN prove, from its own
+// irregular-access lattice, is the precondition the scan needs: every
+// communicating pair of the flow is scan-resolvable (array accesses under
+// a block decomposition whose subscripts and chain-loop bounds evaluate
+// from parameters, loop indices, integer intrinsics and frozen index
+// arrays, with at most one placed parallel loop per side and no wavefront
+// relay). Flows meeting the precondition are certified conditionally: the
+// certificate records the inspector primitive and marks the record
+// conditional on the scan's runtime conflict resolution, which the
+// executor's vector-clock sanitizer validates on every instrumented run.
+
+import (
+	"repro/internal/decomp"
+	"repro/internal/ir"
+)
+
+// InspectKey identifies one scan pair of an inspector boundary. Refs and
+// statements are pointers into the program IR, so the keys core derives
+// from the optimizer's schedule and the keys the certifier re-derives from
+// its own flow analysis agree exactly when they name the same access pair.
+// The certifier's inspector edge requires the boundary's key set to include
+// every pair of the flow: an inspector's runtime waits cover exactly the
+// pairs its scan resolved, so an inspector placed for other pairs proves
+// nothing about this flow.
+type InspectKey struct {
+	Array    string
+	Carrier  string // carried-test loop index ("" = loop-independent)
+	SrcRef   *ir.Ref
+	DstRef   *ir.Ref
+	SrcStmt  ir.Stmt
+	DstStmt  ir.Stmt
+	SrcWrite bool
+	DstWrite bool
+}
+
+// inspectKeyOf builds the key for one communicating pair (x produces
+// before y consumes).
+func inspectKeyOf(x, y acc, carrier *ir.Loop) InspectKey {
+	k := InspectKey{Array: x.name, SrcRef: x.ref, DstRef: y.ref,
+		SrcStmt: x.stmt, DstStmt: y.stmt, SrcWrite: x.write, DstWrite: y.write}
+	if carrier != nil {
+		k.Carrier = carrier.Index
+	}
+	return k
+}
+
+// inspectRes re-derives, independently of the optimizer, whether a runtime
+// inspector scan can resolve this access pair.
+func (a *analyzer) inspectRes(x, y acc, outer []*ir.Loop, carrier *ir.Loop) bool {
+	if a.facts == nil || a.plan.Kind != decomp.Block {
+		return false
+	}
+	if x.scalar || y.scalar || x.ref == nil || y.ref == nil {
+		return false
+	}
+	if !a.readsIndexArrays(x, y) {
+		return false
+	}
+	base := map[string]bool{}
+	for _, l := range outer {
+		base[l.Index] = true
+	}
+	if carrier != nil {
+		base[carrier.Index] = true
+	}
+	return a.scanSide(x, base) && a.scanSide(y, base)
+}
+
+// scanSide checks one endpoint: no wavefront loops, every chain bound and
+// subscript evaluable with the progressively-bound index set, at most one
+// parallel loop and it must carry a placement.
+func (a *analyzer) scanSide(s acc, base map[string]bool) bool {
+	idx := map[string]bool{}
+	for k := range base {
+		idx[k] = true
+	}
+	par := 0
+	for _, l := range s.chain {
+		if a.plan.Wavefront[l] {
+			return false
+		}
+		if !a.facts.Evaluable(l.Lo, idx) || !a.facts.Evaluable(l.Hi, idx) {
+			return false
+		}
+		if l.Parallel {
+			par++
+			if par > 1 || a.plan.Placements[l] == nil {
+				return false
+			}
+		}
+		idx[l.Index] = true
+	}
+	for _, sub := range s.ref.Subs {
+		if !a.facts.Evaluable(sub, idx) {
+			return false
+		}
+	}
+	return true
+}
+
+// readsIndexArrays reports whether the pair reads any frozen index array
+// inside a subscript or chain-loop bound — without one the accesses are
+// not irregular and the static verdict stands on its own.
+func (a *analyzer) readsIndexArrays(x, y acc) bool {
+	found := false
+	note := func(e ir.Expr) {
+		ir.WalkExprs(e, func(n ir.Expr) {
+			if r, ok := n.(*ir.Ref); ok && r.IsArray() && a.facts.StableIndex(r.Name) {
+				found = true
+			}
+		})
+	}
+	for _, s := range []acc{x, y} {
+		if s.ref != nil {
+			for _, sub := range s.ref.Subs {
+				note(sub)
+			}
+		}
+		for _, l := range s.chain {
+			note(l.Lo)
+			note(l.Hi)
+		}
+	}
+	return found
+}

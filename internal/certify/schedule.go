@@ -24,6 +24,14 @@ const (
 	KindNone Kind = iota
 	KindNeighbor
 	KindCounter
+	// KindInspector is a runtime inspector/executor boundary: every worker
+	// posts, and a deterministic scan of the (frozen) index arrays decides
+	// which workers must wait on which. Certification of flows ordered by
+	// an inspector is conditional: the certifier re-derives, from its own
+	// irregular-access facts, that every pair of the flow is one the scan
+	// can resolve, and records the certificate as valid given the scan's
+	// runtime conflict resolution.
+	KindInspector
 	KindBarrier
 )
 
@@ -35,6 +43,8 @@ func (k Kind) String() string {
 		return "neighbor"
 	case KindCounter:
 		return "counter"
+	case KindInspector:
+		return "inspector"
 	case KindBarrier:
 		return "barrier"
 	default:
@@ -48,6 +58,11 @@ type Boundary struct {
 	// WaitLower/WaitUpper: for KindNeighbor, the directions a worker
 	// waits on (its rank-1 / rank+1 neighbor).
 	WaitLower, WaitUpper bool
+	// Inspect: for KindInspector, the access pairs the boundary's runtime
+	// scan resolves. Part of the schedule under certification — the
+	// inspector edge orders a flow only when this list includes every
+	// pair of the flow.
+	Inspect []InspectKey
 }
 
 // Region is one SPMD region: the program body (Loop == nil) or the body of

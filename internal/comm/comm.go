@@ -25,6 +25,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/deps"
 	"repro/internal/ir"
+	"repro/internal/irreg"
 	"repro/internal/region"
 	"repro/internal/remarks"
 )
@@ -39,6 +40,12 @@ const (
 	ClassNeighbor
 	// ClassCounter: at most one producing processor per instance.
 	ClassCounter
+	// ClassInspector: communication through irregular (indirect)
+	// accesses whose index arrays are frozen guarded-setup data; a
+	// runtime inspector scan of the actual index arrays decides, per
+	// crossing, whether any data flows between distinct workers and
+	// synthesizes point-to-point waits (or none) accordingly.
+	ClassInspector
 	// ClassBarrier: general communication.
 	ClassBarrier
 )
@@ -51,6 +58,8 @@ func (c Class) String() string {
 		return "neighbor"
 	case ClassCounter:
 		return "counter"
+	case ClassInspector:
+		return "inspector"
 	case ClassBarrier:
 		return "barrier"
 	default:
@@ -73,6 +82,9 @@ type Verdict struct {
 	// the remark-layer view of Pairs, with positions, per-pair FM
 	// evidence and rejection ladders.
 	Deps []remarks.Dependence
+	// Inspect lists the access pairs a ClassInspector site's runtime
+	// scan must resolve.
+	Inspect []InspectPair
 	// FM aggregates the Fourier-Motzkin work across all pairs.
 	FM remarks.FMVerdict
 }
@@ -99,6 +111,11 @@ type Analyzer struct {
 	Plan  *decomp.Plan
 	Info  *region.Info
 	Modes map[ir.Stmt]region.Mode
+	// Facts, when set, is the irregular-access value lattice (internal/
+	// irreg): affine contents close otherwise-bailing subscript systems,
+	// element ranges relax them, and frozen/evaluable index arrays make
+	// barrier pairs eligible for inspector synthesis.
+	Facts *irreg.Facts
 }
 
 // New builds an analyzer.
@@ -140,14 +157,33 @@ func combine(a, b Verdict) Verdict {
 		Pairs:     append(append([]string(nil), a.Pairs...), b.Pairs...),
 		Deps:      append(append([]remarks.Dependence(nil), a.Deps...), b.Deps...),
 	}
-	if b.Class > a.Class {
-		out.Class = b.Class
-	} else {
-		out.Class = a.Class
+	out.Class = MixClass(a.Class, b.Class)
+	if out.Class == ClassInspector {
+		out.Inspect = append(append([]InspectPair(nil), a.Inspect...), b.Inspect...)
 	}
 	out.FM = a.FM
 	out.FM.Add(b.FM)
 	out.FM.Feasible = a.FM.Feasible || b.FM.Feasible
 	out.FM.Exact = a.FM.Exact && b.FM.Exact
 	return out
+}
+
+// MixClass combines two classes required at one boundary. The static
+// primitives follow the cost order (the stronger wins). An inspector
+// mixes only with none or another inspector (scan pair lists merge); an
+// inspector's point-to-point waits cover exactly its scanned pairs, so
+// mixing it with any static primitive must strengthen to a barrier.
+func MixClass(a, b Class) Class {
+	if a == ClassInspector || b == ClassInspector {
+		aOK := a == ClassNone || a == ClassInspector
+		bOK := b == ClassNone || b == ClassInspector
+		if aOK && bOK {
+			return ClassInspector
+		}
+		return ClassBarrier
+	}
+	if b > a {
+		return b
+	}
+	return a
 }

@@ -1,0 +1,180 @@
+package comm
+
+import (
+	"sort"
+
+	"repro/internal/decomp"
+	"repro/internal/ir"
+	"repro/internal/region"
+)
+
+// InspectSide is one endpoint of an inspector pair: enough of the access
+// for the runtime scan to enumerate, per worker, the flat element
+// offsets the access touches.
+type InspectSide struct {
+	// Ref is the array reference (subscripts evaluable by the scan).
+	Ref *ir.Ref
+	// Write marks the writing side of the pair's dependence direction.
+	Write bool
+	// Mode is the executing region mode: parallel sides enumerate the
+	// worker's block, guarded sides belong to the master, replicated
+	// sides to every worker.
+	Mode region.Mode
+	// Chain lists the loops enclosing the access inside its top-level
+	// statement, outermost first. At most one is parallel (the placed
+	// one); serial chain loops are enumerated in full.
+	Chain []*ir.Loop
+	// Stmt is the enclosing top-level group statement.
+	Stmt ir.Stmt
+}
+
+// InspectPair is one ordered access pair (src executes before dst) that
+// a ClassInspector site's runtime scan resolves: if no element offset is
+// shared between distinct workers' footprints, the crossing needs no
+// synchronization this run; otherwise the conflicting workers get
+// point-to-point waits.
+type InspectPair struct {
+	// Array is the accessed array both sides touch.
+	Array string
+	Src   InspectSide
+	Dst   InspectSide
+	// Carrier is the index name of the carried test's loop ("" for a
+	// loop-independent boundary): the destination side executes in the
+	// next carrier iteration.
+	Carrier string
+}
+
+// usesIndexArrays reports whether the pair reads any frozen index array
+// inside a subscript or chain-loop bound — the irregular-access shape
+// the inspector tier exists for. Pairs without index arrays keep their
+// static classification untouched.
+func (a *Analyzer) usesIndexArrays(x, y access) bool {
+	if a.Facts == nil {
+		return false
+	}
+	found := false
+	note := func(e ir.Expr) {
+		ir.WalkExprs(e, func(n ir.Expr) {
+			if r, ok := n.(*ir.Ref); ok && r.IsArray() && a.Facts.StableIndex(r.Name) {
+				found = true
+			}
+		})
+	}
+	for _, acc := range []access{x, y} {
+		if acc.ref != nil {
+			for _, s := range acc.ref.Subs {
+				note(s)
+			}
+		}
+		for _, l := range acc.chain {
+			note(l.Lo)
+			note(l.Hi)
+		}
+	}
+	return found
+}
+
+// irregEvidence renders the value facts of every fact-bearing array the
+// pair references inside subscripts or chain bounds — the remark-layer
+// evidence for decisions the irregular-access lattice participated in.
+func (a *Analyzer) irregEvidence(x, y access) []string {
+	if a.Facts == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var names []string
+	note := func(e ir.Expr) {
+		ir.WalkExprs(e, func(n ir.Expr) {
+			r, ok := n.(*ir.Ref)
+			if !ok || !r.IsArray() || seen[r.Name] {
+				return
+			}
+			if af := a.Facts.Array(r.Name); af != nil && (af.Frozen || af.Content || af.HasRange) {
+				seen[r.Name] = true
+				names = append(names, r.Name)
+			}
+		})
+	}
+	for _, acc := range []access{x, y} {
+		if acc.ref != nil {
+			for _, s := range acc.ref.Subs {
+				note(s)
+			}
+		}
+		for _, l := range acc.chain {
+			note(l.Lo)
+			note(l.Hi)
+		}
+	}
+	sort.Strings(names)
+	var out []string
+	for _, n := range names {
+		out = append(out, a.Facts.Array(n).Describe()...)
+	}
+	return out
+}
+
+// inspectable decides whether the pair qualifies for inspector
+// synthesis: both sides are array accesses under a block decomposition,
+// the pair actually involves index arrays, every chain-loop bound and
+// every subscript is evaluable by a runtime scan (parameters, loop
+// indices, integer intrinsics and frozen index arrays only), no side
+// executes under a wavefront relay, and each side has at most one
+// (placed) parallel loop.
+func (a *Analyzer) inspectable(x, y access, outer []*ir.Loop, carrier *ir.Loop) (InspectPair, bool) {
+	if a.Facts == nil || a.Plan.Kind != decomp.Block {
+		return InspectPair{}, false
+	}
+	if x.scalar || y.scalar || x.ref == nil || y.ref == nil {
+		return InspectPair{}, false
+	}
+	if !a.usesIndexArrays(x, y) {
+		return InspectPair{}, false
+	}
+	base := map[string]bool{}
+	for _, l := range outer {
+		base[l.Index] = true
+	}
+	if carrier != nil {
+		base[carrier.Index] = true
+	}
+	side := func(acc access) (InspectSide, bool) {
+		idx := map[string]bool{}
+		for k := range base {
+			idx[k] = true
+		}
+		par := 0
+		for _, l := range acc.chain {
+			if a.Plan.Wavefront[l] {
+				return InspectSide{}, false
+			}
+			if !a.Facts.Evaluable(l.Lo, idx) || !a.Facts.Evaluable(l.Hi, idx) {
+				return InspectSide{}, false
+			}
+			if l.Parallel {
+				par++
+				if par > 1 || a.Plan.Placements[l] == nil {
+					return InspectSide{}, false
+				}
+			}
+			idx[l.Index] = true
+		}
+		for _, s := range acc.ref.Subs {
+			if !a.Facts.Evaluable(s, idx) {
+				return InspectSide{}, false
+			}
+		}
+		return InspectSide{Ref: acc.ref, Write: acc.write, Mode: acc.mode,
+			Chain: acc.chain, Stmt: acc.stmt}, true
+	}
+	sx, ok1 := side(x)
+	sy, ok2 := side(y)
+	if !ok1 || !ok2 {
+		return InspectPair{}, false
+	}
+	p := InspectPair{Array: x.name, Src: sx, Dst: sy}
+	if carrier != nil {
+		p.Carrier = carrier.Index
+	}
+	return p, true
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/decomp"
 	"repro/internal/ir"
+	"repro/internal/irreg"
 	"repro/internal/linear"
 	"repro/internal/remarks"
 )
@@ -82,7 +83,7 @@ func (a *Analyzer) classifyPair(x, y access, outer []*ir.Loop, carrier *ir.Loop)
 	// carrier index — the block size would differ between iterations).
 	if parX && parY {
 		if plX.Space.Key != plY.Space.Key {
-			return barrierVerdict(x, y, "incomparable spaces "+plX.Space.Key+" vs "+plY.Space.Key)
+			return a.bailVerdict(x, y, outer, carrier, "incomparable spaces "+plX.Space.Key+" vs "+plY.Space.Key)
 		}
 	}
 	if carrier != nil {
@@ -102,10 +103,10 @@ func (a *Analyzer) classifyPair(x, y access, outer []*ir.Loop, carrier *ir.Loop)
 	u1, ok1 := b.side(x, "$x", b.kx)
 	u2, ok2 := b.side(y, "$y", b.ky)
 	if !ok1 || !ok2 {
-		return barrierVerdict(x, y, "non-affine access")
+		return a.bailVerdict(x, y, outer, carrier, "non-affine access")
 	}
 	if !b.equateSubscripts(x, y, "$x", "$y") {
-		return barrierVerdict(x, y, "non-affine subscripts")
+		return a.bailVerdict(x, y, outer, carrier, "non-affine subscripts")
 	}
 
 	// fm accumulates the solver work this pair costs, across every system
@@ -130,14 +131,19 @@ func (a *Analyzer) classifyPair(x, y access, outer []*ir.Loop, carrier *ir.Loop)
 	up := test(linear.GE(du, bs))         // consumer block above producer
 	down := test(linear.GE(du.Neg(), bs)) // consumer block below producer
 	dep := newDep(x, y)
+	dep.Irreg = a.irregEvidence(x, y)
+	if b.rangeSubst {
+		dep.Note = "subscript ranges over-approximate an irregular access"
+		fm.Exact = false
+	}
 	if !up && !down {
 		dep.Class = remarks.PrimNone
 		dep.FM = fm
-		return Verdict{Class: ClassNone, Exact: true,
+		return Verdict{Class: ClassNone, Exact: !b.rangeSubst,
 			Deps: []remarks.Dependence{dep}, FM: fm}
 	}
 	fm.Feasible = true
-	v := Verdict{Exact: true, WaitLower: up, WaitUpper: down}
+	v := Verdict{Exact: !b.rangeSubst, WaitLower: up, WaitUpper: down}
 	v.Pairs = append(v.Pairs, fmt.Sprintf("%s: %s -> %s", x.name, describe(x), describe(y)))
 	dep.Rejected = append(dep.Rejected, remarks.Alternative{
 		Primitive: remarks.PrimNone,
@@ -169,6 +175,15 @@ func (a *Analyzer) classifyPair(x, y access, outer []*ir.Loop, carrier *ir.Loop)
 	dep.Rejected = append(dep.Rejected, remarks.Alternative{
 		Primitive: remarks.PrimCounter,
 		Reason:    "two distinct producers can feed one sync instance"})
+	if b.rangeSubst {
+		// The barrier conclusion rests on range over-approximation of an
+		// irregular subscript: the true communication set is data-dependent,
+		// exactly what a runtime inspector scan resolves.
+		if iv, ok := a.inspectorVerdict(x, y, outer, carrier,
+			"communication set is data-dependent (irregular subscripts)", &fm, dep.Rejected); ok {
+			return iv
+		}
+	}
 	v.Class = ClassBarrier
 	v.WaitLower, v.WaitUpper = false, false
 	dep.Class = remarks.PrimBarrier
@@ -203,6 +218,65 @@ func barrierVerdict(x, y access, why string) Verdict {
 		Deps:  []remarks.Dependence{dep},
 		FM:    dep.FM,
 	}
+}
+
+// bailVerdict handles a conservative bailout: when the pair qualifies
+// for inspector synthesis the bail becomes a ClassInspector verdict;
+// otherwise it is the usual barrier, with an inspector rung recorded on
+// the rejection ladder for index-array pairs (so remarks show the
+// dynamic tier was considered and why it did not apply).
+func (a *Analyzer) bailVerdict(x, y access, outer []*ir.Loop, carrier *ir.Loop, why string) Verdict {
+	if v, ok := a.inspectorVerdict(x, y, outer, carrier, why, nil, nil); ok {
+		return v
+	}
+	v := barrierVerdict(x, y, why)
+	if a.usesIndexArrays(x, y) {
+		v.Deps[0].Irreg = a.irregEvidence(x, y)
+		v.Deps[0].Rejected = append(v.Deps[0].Rejected, remarks.Alternative{
+			Primitive: remarks.PrimInspector,
+			Reason:    "not inspectable: bounds or subscripts not scan-evaluable"})
+	}
+	return v
+}
+
+// inspectorVerdict builds a ClassInspector verdict for the pair when it
+// is eligible. fm (optional) carries solver work already spent on the
+// pair; rejected (optional) replaces the generic rejection ladder.
+func (a *Analyzer) inspectorVerdict(x, y access, outer []*ir.Loop, carrier *ir.Loop,
+	why string, fm *remarks.FMVerdict, rejected []remarks.Alternative) (Verdict, bool) {
+	pair, ok := a.inspectable(x, y, outer, carrier)
+	if !ok {
+		return Verdict{}, false
+	}
+	dep := newDep(x, y)
+	dep.Class = remarks.PrimInspector
+	dep.Note = why
+	dep.Irreg = a.irregEvidence(x, y)
+	if fm != nil {
+		dep.FM = *fm
+		dep.FM.Feasible = true
+		dep.FM.Exact = false
+	} else {
+		dep.FM = remarks.FMVerdict{Feasible: true, Exact: false}
+	}
+	if rejected != nil {
+		dep.Rejected = rejected
+	} else {
+		reason := "not provable: " + why
+		dep.Rejected = []remarks.Alternative{
+			{Primitive: remarks.PrimNone, Reason: reason},
+			{Primitive: remarks.PrimNeighbor, Reason: reason},
+			{Primitive: remarks.PrimCounter, Reason: reason},
+		}
+	}
+	return Verdict{
+		Class:   ClassInspector,
+		Exact:   false,
+		Pairs:   []string{fmt.Sprintf("%s: %s -> %s (inspector: %s)", x.name, describe(x), describe(y), why)},
+		Deps:    []remarks.Dependence{dep},
+		Inspect: []InspectPair{pair},
+		FM:      dep.FM,
+	}, true
 }
 
 func describe(a access) string {
@@ -380,15 +454,31 @@ type builder struct {
 	bind map[string]map[string]linear.Var // suffix -> index name -> var
 	// xexpr records each side's placement coordinate expression.
 	xexpr map[string]linear.Affine
+	// factsOK marks the side suffixes whose accesses may use irreg value
+	// facts (the access's statement is not part of the guarded setup
+	// prefix that establishes them).
+	factsOK map[string]bool
+	// rngs holds, per side suffix, the symbolic ranges of the bound loop
+	// indices, for interval evaluation of non-affine subscripts.
+	rngs map[string]map[string]irreg.Rng
+	// rangeSubst records that a subscript or loop bound was replaced by
+	// its value range — an over-approximation of the true access set, so
+	// any verdict built on it is conservative (and a Barrier conclusion
+	// becomes an inspector-rescue candidate).
+	rangeSubst bool
+	// nv numbers the fresh range-substitution variables.
+	nv int
 }
 
 func newBuilder(a *Analyzer, outer []*ir.Loop, carrier *ir.Loop) *builder {
 	b := &builder{
-		a:     a,
-		sys:   a.Ctx.Assume.Copy(),
-		envs:  map[string]*ir.AffineEnv{},
-		bind:  map[string]map[string]linear.Var{},
-		xexpr: map[string]linear.Affine{},
+		a:       a,
+		sys:     a.Ctx.Assume.Copy(),
+		envs:    map[string]*ir.AffineEnv{},
+		bind:    map[string]map[string]linear.Var{},
+		xexpr:   map[string]linear.Affine{},
+		factsOK: map[string]bool{},
+		rngs:    map[string]map[string]irreg.Rng{},
 	}
 	b.sys.AddGE(linear.VarExpr(bsVar), linear.NewAffine(1))
 
@@ -453,6 +543,28 @@ func (b *builder) side(acc access, sfx string, carrierVar linear.Var) (linear.Va
 		env.Bind(b.carrier.Index, carrierVar)
 		bind[b.carrier.Index] = carrierVar
 	}
+	// Value facts describe array contents only after the guarded setup
+	// prefix has run, so the affine content hook (which turns reads like
+	// P(i) into the affine i) is installed only for accesses outside it.
+	factsOK := b.a.Facts != nil && !b.a.Facts.Setup[acc.stmt]
+	if factsOK {
+		env.SetArrayContent(b.a.Facts.Content)
+	}
+	b.factsOK[sfx] = factsOK
+	idx := map[string]irreg.Rng{}
+	noteRng := func(l *ir.Loop) {
+		lo, ok1 := env.Affine(l.Lo)
+		hi, ok2 := env.Affine(l.Hi)
+		if ok1 && ok2 {
+			idx[l.Index] = irreg.Rng{Lo: &lo, Hi: &hi}
+		}
+	}
+	for _, ol := range b.outer {
+		noteRng(ol)
+	}
+	if b.carrier != nil {
+		noteRng(b.carrier)
+	}
 
 	u := linear.Proc("u" + sfx)
 	b.sys.AddGE(linear.VarExpr(u), linear.NewAffine(0))
@@ -463,8 +575,11 @@ func (b *builder) side(acc access, sfx string, carrierVar linear.Var) (linear.Va
 		env.Bind(l.Index, v)
 		bind[l.Index] = v
 		if !b.addBounds(env, l, v) {
-			return u, false
+			if !factsOK || !b.relaxBounds(env, l, v, idx) {
+				return u, false
+			}
 		}
+		noteRng(l)
 		if (l.Parallel || b.a.Plan.Wavefront[l]) && !placed {
 			pl := b.a.Plan.Placements[l]
 			if pl == nil {
@@ -496,7 +611,56 @@ func (b *builder) side(acc access, sfx string, carrierVar linear.Var) (linear.Va
 	}
 	b.envs[sfx] = env
 	b.bind[sfx] = bind
+	b.rngs[sfx] = idx
 	return u, true
+}
+
+// relaxBounds handles a chain loop whose bounds are not affine even with
+// content substitution (e.g. `do k = rp(i), rp(i+1) - 1` over a frozen
+// index array without exact content): each bound is replaced by its
+// interval-domain evaluation against the irreg facts, keeping one-sided
+// constraints when only one endpoint is known. Dropping the exact bound
+// for a wider one only enlarges the system's solution set, so every
+// conclusion drawn downstream stays conservative; rangeSubst records the
+// loss of exactness. Only bounds that actually read fact-bearing arrays
+// are relaxed — anything else keeps the historical non-affine bail.
+func (b *builder) relaxBounds(env *ir.AffineEnv, l *ir.Loop, v linear.Var, idx map[string]irreg.Rng) bool {
+	if !b.boundUsesFacts(l.Lo) && !b.boundUsesFacts(l.Hi) {
+		return false
+	}
+	got := false
+	if lo, ok := env.Affine(l.Lo); ok {
+		b.sys.AddGE(linear.VarExpr(v), lo)
+		got = true
+	} else if r, ok := b.a.Facts.ExprRange(l.Lo, idx); ok && r.Lo != nil {
+		b.sys.AddGE(linear.VarExpr(v), *r.Lo)
+		got = true
+	}
+	if hi, ok := env.Affine(l.Hi); ok {
+		b.sys.AddLE(linear.VarExpr(v), hi)
+		got = true
+	} else if r, ok := b.a.Facts.ExprRange(l.Hi, idx); ok && r.Hi != nil {
+		b.sys.AddLE(linear.VarExpr(v), *r.Hi)
+		got = true
+	}
+	if !got {
+		return false
+	}
+	b.rangeSubst = true
+	return true
+}
+
+// boundUsesFacts reports whether e reads an array with irreg value facts.
+func (b *builder) boundUsesFacts(e ir.Expr) bool {
+	found := false
+	ir.WalkExprs(e, func(n ir.Expr) {
+		if r, ok := n.(*ir.Ref); ok && r.IsArray() {
+			if af := b.a.Facts.Array(r.Name); af != nil && (af.Frozen || af.Content || af.HasRange) {
+				found = true
+			}
+		}
+	})
+	return found
 }
 
 // addGuard conjoins the affine content of a guard condition (best-effort:
@@ -566,20 +730,55 @@ func (b *builder) addGuard(e ir.Expr, negated bool, env *ir.AffineEnv) {
 
 // equateSubscripts adds dimension-wise equality between the two array
 // references (no-op for scalars). Returns false on non-affine subscripts.
+// For pairs that read frozen index arrays, a non-affine dimension falls
+// back to a fresh variable constrained to the subscript's value range
+// (an over-approximation of the real access set — see rangeSubst).
 func (b *builder) equateSubscripts(x, y access, sfxX, sfxY string) bool {
 	if x.scalar || y.scalar {
 		return true
 	}
-	envX, envY := b.envs[sfxX], b.envs[sfxY]
-	subsX, okX := envX.AffineSubs(x.ref)
-	subsY, okY := envY.AffineSubs(y.ref)
-	if !okX || !okY || len(subsX) != len(subsY) {
+	if len(x.ref.Subs) != len(y.ref.Subs) {
 		return false
 	}
-	for d := range subsX {
-		b.sys.AddEQ(subsX[d], subsY[d])
+	relax := b.a.Facts != nil && b.a.usesIndexArrays(x, y)
+	envX, envY := b.envs[sfxX], b.envs[sfxY]
+	for d := range x.ref.Subs {
+		sx, okX := envX.Affine(x.ref.Subs[d])
+		sy, okY := envY.Affine(y.ref.Subs[d])
+		if !okX {
+			sx, okX = b.rangeVar(x.ref.Subs[d], sfxX, relax && b.factsOK[sfxX])
+		}
+		if !okY {
+			sy, okY = b.rangeVar(y.ref.Subs[d], sfxY, relax && b.factsOK[sfxY])
+		}
+		if !okX || !okY {
+			return false
+		}
+		b.sys.AddEQ(sx, sy)
 	}
 	return true
+}
+
+// rangeVar introduces a fresh variable standing for a non-affine
+// subscript, constrained to the subscript's interval-domain value range.
+func (b *builder) rangeVar(sub ir.Expr, sfx string, allowed bool) (linear.Affine, bool) {
+	if !allowed {
+		return linear.Affine{}, false
+	}
+	r, ok := b.a.Facts.ExprRange(sub, b.rngs[sfx])
+	if !ok || (r.Lo == nil && r.Hi == nil) {
+		return linear.Affine{}, false
+	}
+	b.nv++
+	v := linear.Arr(fmt.Sprintf("$r%d%s", b.nv, sfx))
+	if r.Lo != nil {
+		b.sys.AddGE(linear.VarExpr(v), *r.Lo)
+	}
+	if r.Hi != nil {
+		b.sys.AddLE(linear.VarExpr(v), *r.Hi)
+	}
+	b.rangeSubst = true
+	return linear.VarExpr(v), true
 }
 
 // substLoopVars replaces loop-kind variables in aff according to bind.

@@ -374,7 +374,7 @@ func (c *cc) intExpr(x ir.Expr) (intRes, error) {
 		return constInt(n.Int), nil
 	case *ir.Ref:
 		if n.IsArray() {
-			return intRes{}, c.errf(n.P, "array element %s in integer context", n.Name)
+			return c.intArrayRead(n)
 		}
 		if c.scope[n.Name] {
 			reg, _ := c.p.lay.IndexReg(n.Name)
@@ -400,11 +400,13 @@ func (c *cc) intExpr(x ir.Expr) (intRes, error) {
 	case *ir.Bin:
 		return c.intBin(n)
 	case *ir.Call:
-		if n.Name != "mod" {
+		switch n.Name {
+		case "mod", "min", "max":
+		default:
 			return intRes{}, c.errf(n.P, "intrinsic %s in integer context", n.Name)
 		}
 		if len(n.Args) != 2 {
-			return intRes{}, c.errf(n.P, "mod expects 2 arguments, got %d", len(n.Args))
+			return intRes{}, c.errf(n.P, "%s expects 2 arguments, got %d", n.Name, len(n.Args))
 		}
 		l, err := c.intExpr(n.Args[0])
 		if err != nil {
@@ -414,11 +416,41 @@ func (c *cc) intExpr(x ir.Expr) (intRes, error) {
 		if err != nil {
 			return intRes{}, err
 		}
+		lf, rf := l.fn, r.fn
+		switch n.Name {
+		case "min":
+			if l.isConst && r.isConst {
+				if l.cv < r.cv {
+					return constInt(l.cv), nil
+				}
+				return constInt(r.cv), nil
+			}
+			return intRes{fn: func(fr *Frame) int64 {
+				lv, rv := lf(fr), rf(fr)
+				if lv < rv {
+					return lv
+				}
+				return rv
+			}}, nil
+		case "max":
+			if l.isConst && r.isConst {
+				if l.cv > r.cv {
+					return constInt(l.cv), nil
+				}
+				return constInt(r.cv), nil
+			}
+			return intRes{fn: func(fr *Frame) int64 {
+				lv, rv := lf(fr), rf(fr)
+				if lv > rv {
+					return lv
+				}
+				return rv
+			}}, nil
+		}
 		if l.isConst && r.isConst && r.cv != 0 {
 			return constInt(floorMod(l.cv, r.cv)), nil
 		}
 		f := modFault(n.P)
-		lf, rf := l.fn, r.fn
 		return intRes{fn: func(fr *Frame) int64 {
 			lv, rv := lf(fr), rf(fr)
 			if rv == 0 {
@@ -430,6 +462,47 @@ func (c *cc) intExpr(x ir.Expr) (intRes, error) {
 	default:
 		return intRes{}, fmt.Errorf("compile: unhandled integer expression %T", x)
 	}
+}
+
+// intArrayRead lowers an indirect access — an index-array element used
+// in integer context (subscript or loop bound). The element must hold
+// an exact integer; anything else trips a fault.
+func (c *cc) intArrayRead(n *ir.Ref) (intRes, error) {
+	id, offF, err := c.offsetFn(n)
+	if err != nil {
+		return intRes{}, err
+	}
+	f := nonIntFault(n.Name, n.P)
+	if c.p.opt.Instrument {
+		name := n.Name
+		return intRes{fn: func(fr *Frame) int64 {
+			off := offF(fr)
+			if off < 0 {
+				return 0
+			}
+			fr.San.Read(fr.SanW, name, off, fr.sanSite)
+			v := fr.Arrays[id][off]
+			iv := int64(v)
+			if float64(iv) != v {
+				fr.trip(f, iv)
+				return 0
+			}
+			return iv
+		}}, nil
+	}
+	return intRes{fn: func(fr *Frame) int64 {
+		off := offF(fr)
+		if off < 0 {
+			return 0
+		}
+		v := fr.Arrays[id][off]
+		iv := int64(v)
+		if float64(iv) != v {
+			fr.trip(f, iv)
+			return 0
+		}
+		return iv
+	}}, nil
 }
 
 func (c *cc) intBin(n *ir.Bin) (intRes, error) {

@@ -45,6 +45,18 @@ func boundsFault(array string, sub int, pos ir.Pos) *Fault {
 func divFault(pos ir.Pos) *Fault { return &Fault{Pos: pos, Msg: "integer division by zero"} }
 func modFault(pos ir.Pos) *Fault { return &Fault{Pos: pos, Msg: "mod by zero"} }
 
+// nonIntFault marks an indirect access whose index-array element does
+// not hold an exact integer. The recorded value is the truncation of
+// the offending float.
+func nonIntFault(array string, pos ir.Pos) *Fault {
+	return &Fault{
+		Pos:    pos,
+		Msg:    "array " + array + " element near",
+		Suffix: " is not an integer subscript value",
+		hasVal: true,
+	}
+}
+
 // faultError is the error form of a tripped fault.
 type faultError struct {
 	f   *Fault

@@ -24,6 +24,7 @@ func ToCertify(s *syncopt.Schedule) *certify.Schedule {
 				Kind:      certifyKind(sy.Class),
 				WaitLower: sy.WaitLower,
 				WaitUpper: sy.WaitUpper,
+				Inspect:   inspectKeys(sy.Inspect),
 			})
 		}
 		return r
@@ -37,6 +38,22 @@ func ToCertify(s *syncopt.Schedule) *certify.Schedule {
 	return out
 }
 
+// inspectKeys translates an inspector boundary's scan-pair list. The key
+// fields are IR pointers shared by both sides, so the certifier's
+// re-derived pair keys match these exactly when they name the same pair.
+func inspectKeys(pairs []comm.InspectPair) []certify.InspectKey {
+	var out []certify.InspectKey
+	for _, p := range pairs {
+		out = append(out, certify.InspectKey{
+			Array: p.Array, Carrier: p.Carrier,
+			SrcRef: p.Src.Ref, DstRef: p.Dst.Ref,
+			SrcStmt: p.Src.Stmt, DstStmt: p.Dst.Stmt,
+			SrcWrite: p.Src.Write, DstWrite: p.Dst.Write,
+		})
+	}
+	return out
+}
+
 func certifyKind(c comm.Class) certify.Kind {
 	switch c {
 	case comm.ClassBarrier:
@@ -45,6 +62,8 @@ func certifyKind(c comm.Class) certify.Kind {
 		return certify.KindCounter
 	case comm.ClassNeighbor:
 		return certify.KindNeighbor
+	case comm.ClassInspector:
+		return certify.KindInspector
 	default:
 		return certify.KindNone
 	}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/irreg"
 	"repro/internal/linear"
 	"repro/internal/lint"
 	"repro/internal/parallel"
@@ -74,6 +75,9 @@ type Compiled struct {
 	Parallelized *parallel.Result
 	// Plan is the computation partition of every parallel loop.
 	Plan *decomp.Plan
+	// Facts is the irregular-access value lattice (index-array ranges,
+	// contents, monotonicity) the communication analysis consulted.
+	Facts *irreg.Facts
 	// Analyzer exposes the communication analysis for inspection.
 	Analyzer *comm.Analyzer
 	// Schedule is the optimized synchronization schedule.
@@ -137,14 +141,17 @@ func CompileProgram(prog *ir.Program, opt Options) *Compiled {
 	var par *parallel.Result
 	var plan *decomp.Plan
 	var info *region.Info
+	var facts *irreg.Facts
 	var an *comm.Analyzer
 	var sched, base *syncopt.Schedule
 	phase("deps", func() { ctx = deps.NewContext(prog, minParam) })
 	phase("parallelize", func() { par = parallel.Parallelize(ctx) })
 	phase("decomp", func() { plan = decomp.Build(prog, opt.Decomp) })
 	phase("region", func() { info = region.Classify(prog, plan.Wavefront) })
+	phase("irreg", func() { facts = irreg.Analyze(prog, info, minParam) })
 	phase("syncopt", func() {
 		an = comm.New(ctx, plan, info)
+		an.Facts = facts
 		sched = syncopt.Build(an, opt.Sync)
 	})
 	phase("baseline", func() { base = syncopt.Build(an, syncopt.Options{Baseline: true}) })
@@ -164,6 +171,7 @@ func CompileProgram(prog *ir.Program, opt Options) *Compiled {
 		Options:      opt,
 		Parallelized: par,
 		Plan:         plan,
+		Facts:        facts,
 		Analyzer:     an,
 		Schedule:     sched,
 		Baseline:     base,

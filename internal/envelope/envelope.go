@@ -39,6 +39,9 @@ const (
 	ToolProfile   = "spmd-profile"
 	ToolLedger    = "spmdrun-ledger"
 	ToolProfBench = "benchtab-profile"
+	// ToolIrregBench wraps the Table I irregular-suite report
+	// (BENCH_irreg.json).
+	ToolIrregBench = "benchtab-irreg"
 )
 
 // Envelope is the wrapper around one tool artifact.

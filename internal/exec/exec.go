@@ -190,6 +190,10 @@ type Result struct {
 	// result came from the degraded sequential path (Stats is zero and
 	// Trace is nil there: no team ran).
 	SeqFallback bool
+	// Inspector reports per-site runtime-inspector behavior, keyed by
+	// 1-based sync-site id (same numbering as Stats.PerSite). Nil when the
+	// schedule has no inspector sites or no team ran.
+	Inspector map[int]InspectorSite
 }
 
 // Runner executes one (program, schedule, plan) combination repeatedly.
@@ -203,6 +207,11 @@ type Runner struct {
 	nSites int
 	// siteClass[id] is the scheduled synchronization class at each site.
 	siteClass []comm.Class
+	// inspPairs[id] is the scan-pair list of an inspector site (nil for
+	// other classes); inspCacheable[id] marks sites whose scan outcome is
+	// crossing-invariant (computed once per run).
+	inspPairs     [][]comm.InspectPair
+	inspCacheable []bool
 	// exe is the lowered closure program (nil when Backend == Interp).
 	exe *compile.Prog
 }
@@ -255,6 +264,14 @@ func NewRunner(prog *ir.Program, sched *syncopt.Schedule, plan *decomp.Plan, cfg
 		for i := range rs.After {
 			ids[i] = r.nSites
 			r.siteClass = append(r.siteClass, rs.After[i].Class)
+			if rs.After[i].Class == comm.ClassInspector {
+				r.inspPairs = append(r.inspPairs, rs.After[i].Inspect)
+				r.inspCacheable = append(r.inspCacheable,
+					inspCacheable(rs.After[i].Inspect, plan, prog))
+			} else {
+				r.inspPairs = append(r.inspPairs, nil)
+				r.inspCacheable = append(r.inspCacheable, false)
+			}
 			r.nSites++
 		}
 		r.sites[rs] = ids
@@ -427,6 +444,12 @@ func (r *Runner) runAttempt(ctx context.Context, st *interp.State, attempt int) 
 		run.counters[i] = team.NewCounter()
 		run.counters[i].Site = fmt.Sprintf("sync site %d", i+1)
 		run.p2ps[i] = team.NewP2P()
+		if r.inspPairs[i] != nil {
+			if run.insp == nil {
+				run.insp = make([]*inspState, r.nSites)
+			}
+			run.insp[i] = &inspState{pairs: r.inspPairs[i], cacheable: r.inspCacheable[i]}
+		}
 	}
 	if r.cfg.Trace {
 		rec := synctrace.New(r.cfg.Workers, r.cfg.TraceBufCap)
@@ -581,6 +604,14 @@ func (r *Runner) runAttempt(ctx context.Context, st *interp.State, attempt int) 
 	run.rec.SetMeta("pooled", strconv.FormatBool(lease != nil))
 	res := &Result{State: st, Stats: team.Stats.Snapshot(), Elapsed: elapsed,
 		Trace: run.rec, Pooled: lease != nil, Generation: gen, Attempts: attempt}
+	if run.insp != nil {
+		res.Inspector = map[int]InspectorSite{}
+		for id, is := range run.insp {
+			if is != nil {
+				res.Inspector[id+1] = is.stats
+			}
+		}
+	}
 	if run.san != nil {
 		res.Sanitizer = run.san.tr.Report()
 	}
@@ -607,6 +638,9 @@ type teamRun struct {
 	san *sanRun
 	// rec is the optional sync-event recorder (nil when tracing is off).
 	rec *synctrace.Recorder
+	// insp holds per-site inspector state (nil slice when the schedule has
+	// no inspector sites; nil entries for other classes).
+	insp []*inspState
 	// sabotage is the sync-site id to silently drop (-1 for none).
 	sabotage int
 }
@@ -1161,6 +1195,8 @@ func (ws *workerState) applySync(rs *syncopt.RegionSched, gi, site int) {
 				run.san.tr.P2PJoin(run.p2ps[site], ws.w, ws.w+1)
 			}
 		}
+	case comm.ClassInspector:
+		ws.applyInspector(site)
 	}
 }
 

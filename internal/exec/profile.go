@@ -58,6 +58,18 @@ func (r *Runner) SiteProfiles(res *Result) []profile.SiteProfile {
 		sp := get(id)
 		sp.Ops = c.Barriers + c.CounterIncrs + c.CounterWaits + c.NeighborWaits
 	}
+	// Inspector sites carry their scan statistics even when every
+	// crossing resolved conflict-free (Ops stays 0: no one waited).
+	for id, is := range res.Inspector {
+		if id < 1 || id > r.nSites {
+			continue
+		}
+		sp := get(id)
+		sp.Scans = is.Scans
+		sp.EmptyCrossings = is.EmptyCrossings
+		sp.WaitCrossings = is.WaitCrossings
+		sp.Conservative = is.Conservative
+	}
 	if rec := res.Trace; rec != nil {
 		// Barrier arrival tracking per (site, episode): first/last arrival
 		// give the episode's slack, the last arrival its straggler.

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -313,26 +316,77 @@ func TestTracingOverheadGuard(t *testing.T) {
 	}
 
 	// Cross-commit regression fence: compare tracing-off against the
-	// baseline recorded on this machine (created on first run; delete
-	// the file after an intentional runtime change).
+	// baseline recorded on this machine. The file is stamped with the
+	// environment it was measured in (toolchain, GOMAXPROCS, HEAD); any
+	// stamp mismatch means the stored number is stale — a toolchain
+	// upgrade, a different parallelism setting, or a new commit — and
+	// the guard re-records instead of failing against it. The fence
+	// therefore bites exactly when the working tree drifts from the
+	// commit the baseline was measured at.
 	const baselineFile = "../../scripts/.overhead_baseline"
 	offTol := envFloat(t, "OVERHEAD_TOL", 0.02)
-	if b, err := os.ReadFile(baselineFile); err == nil {
-		base, err := strconv.ParseInt(string(bytes.TrimSpace(b)), 10, 64)
-		if err != nil {
-			t.Fatalf("corrupt %s: %v", baselineFile, err)
-		}
-		if float64(off) > float64(base)*(1+offTol) {
-			t.Errorf("tracing-off run %s regressed >%.0f%% vs recorded baseline %s",
-				off, 100*offTol, time.Duration(base))
-		}
-	} else {
-		if err := os.WriteFile(baselineFile,
-			[]byte(strconv.FormatInt(int64(off), 10)+"\n"), 0o644); err != nil {
+	record := func(reason string) {
+		payload := strconv.FormatInt(int64(off), 10) + "\n" + baselineStamp()
+		if err := os.WriteFile(baselineFile, []byte(payload), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("recorded new tracing-off baseline %s in %s", off, baselineFile)
+		t.Logf("recorded tracing-off baseline %s in %s (%s)", off, baselineFile, reason)
 	}
+	b, err := os.ReadFile(baselineFile)
+	if err != nil {
+		record("no baseline on this machine")
+		return
+	}
+	nanos, stamp, _ := strings.Cut(string(b), "\n")
+	base, perr := strconv.ParseInt(string(bytes.TrimSpace([]byte(nanos))), 10, 64)
+	if perr != nil {
+		record("unreadable baseline, re-recording")
+		return
+	}
+	if stamp != baselineStamp() {
+		record("environment changed since baseline was recorded")
+		return
+	}
+	if float64(off) > float64(base)*(1+offTol) {
+		t.Errorf("tracing-off run %s regressed >%.0f%% vs recorded baseline %s",
+			off, 100*offTol, time.Duration(base))
+	}
+}
+
+// baselineStamp identifies the environment an overhead baseline was
+// measured in. A stored baseline is only comparable when every line
+// matches the current process: wall-clock medians shift with the Go
+// runtime, with the host parallelism, and with the code itself.
+func baselineStamp() string {
+	return fmt.Sprintf("go %s\ngomaxprocs %d\nhead %s\n",
+		runtime.Version(), runtime.GOMAXPROCS(0), gitHead("../.."))
+}
+
+// gitHead resolves the repository's HEAD commit without shelling out,
+// so the stamp works in minimal environments. Detached heads hold the
+// hash directly; symbolic refs resolve through the loose ref file or
+// packed-refs.
+func gitHead(root string) string {
+	b, err := os.ReadFile(filepath.Join(root, ".git", "HEAD"))
+	if err != nil {
+		return "unknown"
+	}
+	s := strings.TrimSpace(string(b))
+	ref, ok := strings.CutPrefix(s, "ref: ")
+	if !ok {
+		return s
+	}
+	if rb, err := os.ReadFile(filepath.Join(root, ".git", ref)); err == nil {
+		return strings.TrimSpace(string(rb))
+	}
+	if pb, err := os.ReadFile(filepath.Join(root, ".git", "packed-refs")); err == nil {
+		for _, line := range strings.Split(string(pb), "\n") {
+			if f := strings.Fields(line); len(f) == 2 && f[1] == ref {
+				return f[0]
+			}
+		}
+	}
+	return "unknown"
 }
 
 func envFloat(t *testing.T, name string, def float64) float64 {

@@ -49,7 +49,23 @@ func (e *Env) evalInt(x ir.Expr) (int64, error) {
 		return n.Int, nil
 	case *ir.Ref:
 		if n.IsArray() {
-			return 0, fmt.Errorf("%s: array element %s in integer context", n.P, n.Name)
+			// Indirect access: an index-array element used as a
+			// subscript or loop bound. The stored float must hold
+			// an exact integer.
+			a := e.st.Array(n.Name)
+			if a == nil {
+				return 0, fmt.Errorf("%s: unknown array %s", n.P, n.Name)
+			}
+			off, err := e.offsets(a, n.Subs, n.P)
+			if err != nil {
+				return 0, err
+			}
+			v := a.Data[off]
+			iv := int64(v)
+			if float64(iv) != v {
+				return 0, fmt.Errorf("%s: array %s element = %v is not an integer subscript value", n.P, n.Name, v)
+			}
+			return iv, nil
 		}
 		if v, ok := e.idx[n.Name]; ok {
 			return v, nil
@@ -97,7 +113,8 @@ func (e *Env) evalInt(x ir.Expr) (int64, error) {
 			return 0, fmt.Errorf("%s: operator %s in integer context", n.P, n.Op)
 		}
 	case *ir.Call:
-		if n.Name == "mod" {
+		switch n.Name {
+		case "mod":
 			l, err := e.evalInt(n.Args[0])
 			if err != nil {
 				return 0, err
@@ -114,6 +131,19 @@ func (e *Env) evalInt(x ir.Expr) (int64, error) {
 				m += r
 			}
 			return m, nil
+		case "min", "max":
+			l, err := e.evalInt(n.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			r, err := e.evalInt(n.Args[1])
+			if err != nil {
+				return 0, err
+			}
+			if (n.Name == "min") == (l < r) {
+				return l, nil
+			}
+			return r, nil
 		}
 		return 0, fmt.Errorf("%s: intrinsic %s in integer context", n.P, n.Name)
 	default:

@@ -11,11 +11,25 @@ import (
 type AffineEnv struct {
 	prog    *Program
 	loopVar map[string]linear.Var
+	content ArrayContent
 }
+
+// ArrayContent resolves a rank-1 array element to an affine expression
+// of its (affine) subscript, when a content fact is known — e.g. an
+// index array proven to hold perm(k) = k by guarded setup analysis
+// (internal/irreg). Returning ok=false leaves the read non-affine.
+type ArrayContent func(name string, sub linear.Affine) (linear.Affine, bool)
 
 // NewAffineEnv builds an environment for prog with no loop indices bound.
 func NewAffineEnv(prog *Program) *AffineEnv {
 	return &AffineEnv{prog: prog, loopVar: map[string]linear.Var{}}
+}
+
+// SetArrayContent installs a content-fact hook consulted for rank-1
+// array reads, and returns the environment for chaining.
+func (env *AffineEnv) SetArrayContent(h ArrayContent) *AffineEnv {
+	env.content = h
+	return env
 }
 
 // Bind associates a loop index name with a linear variable (callers may
@@ -32,6 +46,7 @@ func (env *AffineEnv) Clone() *AffineEnv {
 	for k, v := range env.loopVar {
 		c.loopVar[k] = v
 	}
+	c.content = env.content
 	return c
 }
 
@@ -49,6 +64,13 @@ func (env *AffineEnv) Affine(e Expr) (linear.Affine, bool) {
 		return linear.NewAffine(n.Int), true
 	case *Ref:
 		if n.IsArray() {
+			if env.content != nil && len(n.Subs) == 1 {
+				if sub, ok := env.Affine(n.Subs[0]); ok {
+					if v, ok := env.content(n.Name, sub); ok {
+						return v, true
+					}
+				}
+			}
 			return linear.Affine{}, false
 		}
 		if v, ok := env.loopVar[n.Name]; ok {

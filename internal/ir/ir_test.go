@@ -259,8 +259,8 @@ func TestValidateCatchesErrors(t *testing.T) {
 			p.Scalars = append(p.Scalars, "A")
 		}, "redeclared"},
 		{"nonaffine-extent", func(p *Program) {
-			p.Arrays[0].Dims[0] = NewBin(Mul, NewRef("N"), NewRef("N"))
-		}, "not affine"},
+			p.Arrays[0].Dims[0] = &Call{Name: "sqrt", Args: []Expr{NewRef("N")}}
+		}, "neither affine nor"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

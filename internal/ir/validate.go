@@ -47,8 +47,8 @@ func Validate(p *Program) []error {
 		declare(a.Name, "array", pos)
 		env := NewAffineEnv(p)
 		for d, dim := range a.Dims {
-			if _, ok := env.Affine(dim); !ok {
-				bad(dim.Pos(), "array %s dimension %d extent %q is not affine in the parameters",
+			if _, ok := env.Affine(dim); !ok && !paramExtent(p, dim) {
+				bad(dim.Pos(), "array %s dimension %d extent %q is neither affine nor an integer expression in the parameters",
 					a.Name, d+1, ExprString(dim))
 			}
 		}
@@ -161,6 +161,47 @@ func Validate(p *Program) []error {
 	}
 	checkStmts(p.Body, map[string]bool{})
 	return errs
+}
+
+// paramExtent reports whether dim is an integer expression over the
+// program parameters: params, integral literals, +, -, *, unary minus,
+// and the integer intrinsics min/max/mod. Such extents are not affine,
+// so static passes that need closed-form extents (decomposition votes,
+// bound proofs) bail on them, but the runtime evaluates them exactly at
+// launch; they are how index arrays for irregular kernels are sized.
+func paramExtent(p *Program, dim Expr) bool {
+	params := map[string]bool{}
+	for _, s := range p.Params {
+		params[s] = true
+	}
+	var ok func(Expr) bool
+	ok = func(e Expr) bool {
+		switch n := e.(type) {
+		case *Num:
+			return n.IsInt || float64(int64(n.Val)) == n.Val
+		case *Ref:
+			return !n.IsArray() && params[n.Name]
+		case *Bin:
+			if n.Op != Add && n.Op != Sub && n.Op != Mul {
+				return false
+			}
+			return ok(n.L) && ok(n.R)
+		case *Unary:
+			return ok(n.X)
+		case *Call:
+			if n.Name != "min" && n.Name != "max" && n.Name != "mod" {
+				return false
+			}
+			for _, a := range n.Args {
+				if !ok(a) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	return ok(dim)
 }
 
 var intrinsics = map[string]int{

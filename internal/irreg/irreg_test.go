@@ -1,0 +1,343 @@
+package irreg_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/deps"
+	"repro/internal/ir"
+	"repro/internal/irreg"
+	"repro/internal/linear"
+	"repro/internal/parallel"
+	"repro/internal/parser"
+	"repro/internal/region"
+)
+
+// analyze runs the front half of the core pipeline (deps, parallelize,
+// decomp, region) exactly as core does, then the irreg pass.
+func analyze(t *testing.T, src string) (*ir.Program, *irreg.Facts) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := deps.NewContext(prog, 1)
+	parallel.Parallelize(ctx)
+	plan := decomp.Build(prog, decomp.Block)
+	info := region.Classify(prog, plan.Wavefront)
+	return prog, irreg.Analyze(prog, info, 1)
+}
+
+// exprOf parses a one-statement program and returns the subscript
+// expression of its array write — a convenient way to build test exprs.
+func exprOf(t *testing.T, expr string) ir.Expr {
+	t.Helper()
+	prog, err := parser.Parse(`
+program e
+param N, T
+real A(N)
+real q
+do i = 1, N
+  A(` + expr + `) = 1.0
+end do
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub ir.Expr
+	ir.WalkStmts(prog.Body, func(s ir.Stmt) bool {
+		if a, ok := s.(*ir.Assign); ok && a.LHS.IsArray() {
+			sub = a.LHS.Subs[0]
+		}
+		return true
+	})
+	if sub == nil {
+		t.Fatal("no subscript parsed")
+	}
+	return sub
+}
+
+const permSrc = `
+program permsetup
+param N, T
+real A(N), B(N), P(max(N, 1))
+P(1) = 1.0
+do kk = 2, N
+  P(kk) = P(kk - 1) + 1.0
+end do
+do t = 1, T
+  parallel do i = 1, N
+    B(P(i)) = A(i) * 0.5 + 1.0
+  end do
+  parallel do i = 1, N
+    A(i) = B(P(i)) * 0.25 + A(i) * 0.75
+  end do
+end do
+end
+`
+
+func TestPermutationContent(t *testing.T) {
+	_, f := analyze(t, permSrc)
+	af := f.Array("P")
+	if af == nil {
+		t.Fatal("no fact for P")
+	}
+	if !af.Stable || !af.Frozen {
+		t.Fatalf("P not stable/frozen: %+v", af)
+	}
+	if !af.Covered {
+		t.Fatalf("P not covered: %+v", af)
+	}
+	if !af.Content || af.ContentA != 1 || !af.ContentB.Equal(linear.NewAffine(0)) {
+		t.Fatalf("P content wrong: A=%d B=%s content=%v", af.ContentA, af.ContentB, af.Content)
+	}
+	if !af.Permutation || !af.Injective || af.Monotone != 1 {
+		t.Fatalf("P derived facts wrong: %+v", af)
+	}
+	n := linear.VarExpr(linear.Sym("N"))
+	if !af.HasRange || !af.Rng.Lo.Equal(linear.NewAffine(1)) || !af.Rng.Hi.Equal(n) {
+		t.Fatalf("P range wrong: %s", af.Rng)
+	}
+
+	// Content hook: B(P(i)) must become affine i under the env.
+	if got, ok := f.Content("P", linear.VarExpr(linear.Loop("i"))); !ok ||
+		!got.Equal(linear.VarExpr(linear.Loop("i"))) {
+		t.Fatalf("content substitution: %s ok=%v", got, ok)
+	}
+}
+
+func TestAffineEnvContentHook(t *testing.T) {
+	prog, f := analyze(t, permSrc)
+	env := ir.NewAffineEnv(prog).SetArrayContent(f.Content)
+	env.Bind("i", linear.Loop("i"))
+	// Find the B(P(i)) reference in the first parallel loop.
+	var ref *ir.Ref
+	ir.WalkStmts(prog.Body, func(s ir.Stmt) bool {
+		if a, ok := s.(*ir.Assign); ok && a.LHS.IsArray() && a.LHS.Name == "B" {
+			ref = a.LHS
+		}
+		return true
+	})
+	if ref == nil {
+		t.Fatal("B(P(i)) write not found")
+	}
+	got, ok := env.Affine(ref.Subs[0])
+	if !ok || !got.Equal(linear.VarExpr(linear.Loop("i"))) {
+		t.Fatalf("hooked env: %s ok=%v", got, ok)
+	}
+	// Without the hook the subscript stays non-affine.
+	if _, ok := ir.NewAffineEnv(prog).Bind("i", linear.Loop("i")).Affine(ref.Subs[0]); ok {
+		t.Fatal("unhooked env resolved an indirect subscript")
+	}
+}
+
+func TestStrideContent(t *testing.T) {
+	_, f := analyze(t, `
+program rpsetup
+param N, T
+real rp(max(N, 1)), y(N)
+rp(1) = 1.0
+do kk = 2, N
+  rp(kk) = rp(kk - 1) + 2.0
+end do
+do t = 1, T
+  parallel do i = 1, N
+    y(i) = y(i) + rp(i)
+  end do
+end do
+end
+`)
+	af := f.Array("rp")
+	if af == nil || !af.Content || af.ContentA != 2 || !af.ContentB.Equal(linear.NewAffine(-1)) {
+		t.Fatalf("rp content: %+v", af)
+	}
+	if af.Monotone != 1 || !af.Injective || af.Permutation {
+		t.Fatalf("rp derived: %+v", af)
+	}
+	// Range [1, 2N-1].
+	hi := linear.Term(linear.Sym("N"), 2).AddConst(-1)
+	if !af.HasRange || !af.Rng.Lo.Equal(linear.NewAffine(1)) || !af.Rng.Hi.Equal(hi) {
+		t.Fatalf("rp range: %s", af.Rng)
+	}
+}
+
+func TestModRotationRange(t *testing.T) {
+	_, f := analyze(t, `
+program dstsetup
+param N, T
+real dst(max(N, 1)), val(N)
+dst(1) = min(2, N)
+do kk = 2, N
+  dst(kk) = mod(dst(kk - 1), N) + 1.0
+end do
+do t = 1, T
+  parallel do e = 1, N
+    val(dst(e)) = val(dst(e)) * 0.95
+  end do
+end do
+end
+`)
+	af := f.Array("dst")
+	if af == nil || !af.Frozen || !af.Covered {
+		t.Fatalf("dst: %+v", af)
+	}
+	if af.Content {
+		t.Fatal("mod rotation must not have affine content")
+	}
+	n := linear.VarExpr(linear.Sym("N"))
+	if !af.HasRange || !af.Rng.Lo.Equal(linear.NewAffine(1)) || !af.Rng.Hi.Equal(n) {
+		t.Fatalf("dst range: %s", af.Rng)
+	}
+}
+
+func TestMinClampRange(t *testing.T) {
+	_, f := analyze(t, `
+program gsetup
+param N, T
+real g(max(N, 1)), B(N)
+g(1) = 1.0
+do kk = 2, N
+  g(kk) = min(g(kk - 1) + 1.0, N)
+end do
+do t = 1, T
+  parallel do i = 1, N
+    B(g(i)) = B(g(i)) + 1.0
+  end do
+end do
+end
+`)
+	af := f.Array("g")
+	if af == nil || !af.Frozen || !af.Covered {
+		t.Fatalf("g: %+v", af)
+	}
+	n := linear.VarExpr(linear.Sym("N"))
+	if !af.HasRange || af.Rng.Hi == nil || !af.Rng.Hi.Equal(n) {
+		t.Fatalf("g range: %s", af.Rng)
+	}
+	if af.Rng.Lo == nil || !af.Rng.Lo.Equal(linear.NewAffine(1)) {
+		t.Fatalf("g range lo: %s", af.Rng)
+	}
+}
+
+func TestParallelWriteNotStable(t *testing.T) {
+	_, f := analyze(t, `
+program punstable
+param N, T
+real idx(N), A(N)
+do kk = 1, N
+  idx(kk) = 1.0
+end do
+do t = 1, T
+  parallel do i = 1, N
+    A(i) = A(i) + 1.0
+  end do
+end do
+end
+`)
+	// The setup loop has no carried dependence, so the parallelizer
+	// distributes it: idx is written in parallel mode.
+	af := f.Array("idx")
+	if af == nil {
+		t.Fatal("no record for idx")
+	}
+	if af.Stable || af.Frozen {
+		t.Fatalf("idx written by a parallel loop must not be stable: %+v", af)
+	}
+}
+
+func TestLateGuardedWriteNotFrozen(t *testing.T) {
+	_, f := analyze(t, `
+program latewrite
+param N, T
+real idx(max(N, 1)), A(N)
+idx(1) = 1.0
+do kk = 2, N
+  idx(kk) = idx(kk - 1) + 1.0
+end do
+do t = 1, T
+  idx(1) = 2.0
+  parallel do i = 1, N
+    A(i) = A(i) + idx(i)
+  end do
+end do
+end
+`)
+	af := f.Array("idx")
+	if af == nil || !af.Stable {
+		t.Fatalf("idx should stay stable (all writes guarded): %+v", af)
+	}
+	if af.Frozen {
+		t.Fatal("idx rewritten inside the time loop must not be frozen")
+	}
+	if af.Content || af.HasRange {
+		t.Fatalf("unaccounted write must drop value facts: %+v", af)
+	}
+}
+
+func TestScalarRange(t *testing.T) {
+	_, f := analyze(t, `
+program scal
+param N, T
+real A(N)
+real s
+s = 3.0
+do t = 1, T
+  parallel do i = 1, N
+    A(i) = A(i) + s
+  end do
+end do
+end
+`)
+	sf := f.Scalars["s"]
+	if sf == nil || !sf.Rng.Bounded() {
+		t.Fatalf("scalar fact: %+v", sf)
+	}
+	if !sf.Rng.Lo.Equal(linear.NewAffine(3)) || !sf.Rng.Hi.Equal(linear.NewAffine(3)) {
+		t.Fatalf("scalar range: %s", sf.Rng)
+	}
+}
+
+func TestEvaluable(t *testing.T) {
+	prog, f := analyze(t, permSrc)
+	idx := map[string]bool{"i": true}
+	// P(i) is evaluable (frozen P, index i, param N).
+	var sub ir.Expr
+	ir.WalkStmts(prog.Body, func(s ir.Stmt) bool {
+		if a, ok := s.(*ir.Assign); ok && a.LHS.IsArray() && a.LHS.Name == "B" {
+			sub = a.LHS.Subs[0]
+		}
+		return true
+	})
+	if sub == nil {
+		t.Fatal("subscript not found")
+	}
+	if !f.Evaluable(sub, idx) {
+		t.Fatal("P(i) should be evaluable")
+	}
+	// A(i) rhs reads are not integer-evaluable targets, but the
+	// subscript expression i itself is.
+	if !f.Evaluable(exprOf(t, "mod(3 * i, N) + 1"), idx) {
+		t.Fatal("mod/affine expression should be evaluable")
+	}
+	if f.Evaluable(exprOf(t, "i / 2"), idx) {
+		t.Fatal("division must not be evaluable (float semantics)")
+	}
+	if f.Evaluable(exprOf(t, "q + 1"), idx) {
+		t.Fatal("unknown scalar must not be evaluable")
+	}
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	_, f := analyze(t, permSrc)
+	var a, b strings.Builder
+	f.Dump(&a)
+	f.Dump(&b)
+	if a.String() != b.String() || a.Len() == 0 {
+		t.Fatalf("dump not deterministic or empty:\n%s", a.String())
+	}
+	if !strings.Contains(a.String(), "permutation") {
+		t.Fatalf("dump missing permutation fact:\n%s", a.String())
+	}
+}

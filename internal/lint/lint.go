@@ -15,8 +15,10 @@ import (
 	"strings"
 
 	"repro/internal/ir"
+	"repro/internal/irreg"
 	"repro/internal/linear"
 	"repro/internal/parser"
+	"repro/internal/region"
 )
 
 // Severity ranks a finding. Only warnings and errors count as findings for
@@ -111,6 +113,10 @@ func Program(p *ir.Program) []Diagnostic {
 		return sem
 	}
 	l := &linter{prog: p}
+	// The irregular value analysis runs on the validated program the same
+	// way core's pipeline invokes it, so the linter's downgrade decisions
+	// match the optimizer's actual recovery tier.
+	l.facts = irreg.Analyze(p, region.Classify(p, nil), 1)
 	l.usageRules()
 	l.deadStores(p.Body)
 	l.shapeRules(p.Body, map[string]bool{})
@@ -139,7 +145,11 @@ func sortDiags(ds []Diagnostic) {
 }
 
 type linter struct {
-	prog  *ir.Program
+	prog *ir.Program
+	// facts is the irregular-access value lattice for the program; used
+	// to downgrade non-affine-subscript warnings the optimizer's
+	// irregular tier recovers. Nil when analysis is unavailable.
+	facts *irreg.Facts
 	diags []Diagnostic
 }
 
@@ -250,23 +260,45 @@ func (l *linter) deadStores(stmts []ir.Stmt) {
 // model: non-affine loop bounds and array subscripts (the optimizer falls
 // back to conservative barriers there) and notes non-rectangular
 // (triangular) iteration spaces.
+//
+// Non-affine subscripts are reported once per (statement, array, dim) —
+// a statement like val(dst(e)) = val(dst(e)) + 1 names the same offending
+// subscript on both sides — and anchored at the innermost non-affine
+// subexpression (the index-array read itself, not the arithmetic around
+// it). When the irregular-access value analysis can evaluate the
+// subscript from frozen index arrays, the warning is downgraded to an
+// info: the optimizer's irregular tier (value facts or a runtime
+// inspector) recovers what the affine tier cannot see.
 func (l *linter) shapeRules(stmts []ir.Stmt, bound map[string]bool) {
 	env := ir.NewAffineEnv(l.prog)
 	for idx := range bound {
 		env.Bind(idx, linear.Loop(idx))
 	}
-	checkSubs := func(e ir.Expr) {
+	checkSubs := func(e ir.Expr, seen map[string]bool) {
 		ir.WalkExprs(e, func(x ir.Expr) {
 			r, ok := x.(*ir.Ref)
 			if !ok || !r.IsArray() {
 				return
 			}
 			for d, sub := range r.Subs {
-				if _, affine := env.Affine(sub); !affine {
-					l.add(sub.Pos(), SevWarning, "non-affine-subscript",
-						"subscript %d of %s is not affine; dependence analysis will be conservative",
-						d+1, r.Name)
+				if _, affine := env.Affine(sub); affine {
+					continue
 				}
+				key := fmt.Sprintf("%s/%d", r.Name, d)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				off := innermostNonAffine(env, sub)
+				if l.facts != nil && l.readsStableIndex(sub) && l.facts.Evaluable(sub, bound) {
+					l.add(off.Pos(), SevInfo, "non-affine-subscript",
+						"subscript %d of %s reads through a frozen index array (%s); recovered by irregular-access analysis",
+						d+1, r.Name, ir.ExprString(off))
+					continue
+				}
+				l.add(off.Pos(), SevWarning, "non-affine-subscript",
+					"subscript %d of %s is not affine (%s); dependence analysis will be conservative",
+					d+1, r.Name, ir.ExprString(off))
 			}
 		})
 	}
@@ -276,6 +308,11 @@ func (l *linter) shapeRules(stmts []ir.Stmt, bound map[string]bool) {
 			for _, b := range []ir.Expr{n.Lo, n.Hi} {
 				a, affine := env.Affine(b)
 				if !affine {
+					if l.facts != nil && l.readsStableIndex(b) && l.facts.Evaluable(b, bound) {
+						l.add(b.Pos(), SevInfo, "non-affine-bound",
+							"bound of loop %s reads through a frozen index array; recovered by irregular-access analysis", n.Index)
+						continue
+					}
 					l.add(b.Pos(), SevWarning, "non-affine-bound",
 						"bound of loop %s is not affine; the loop cannot be analyzed for parallelism", n.Index)
 					continue
@@ -296,14 +333,53 @@ func (l *linter) shapeRules(stmts []ir.Stmt, bound map[string]bool) {
 			inner[n.Index] = true
 			l.shapeRules(n.Body, inner)
 		case *ir.Assign:
-			checkSubs(n.LHS)
-			checkSubs(n.RHS)
+			seen := map[string]bool{}
+			checkSubs(n.LHS, seen)
+			checkSubs(n.RHS, seen)
 		case *ir.If:
-			checkSubs(n.Cond)
+			checkSubs(n.Cond, map[string]bool{})
 			l.shapeRules(n.Then, bound)
 			l.shapeRules(n.Else, bound)
 		}
 	}
+}
+
+// readsStableIndex reports whether the expression reads an array the
+// irregular analysis froze (guarded setup writes only) — the same gate
+// the optimizer's inspector tier applies, so the linter downgrades
+// exactly the subscripts the irregular tier can actually recover.
+func (l *linter) readsStableIndex(e ir.Expr) bool {
+	found := false
+	ir.WalkExprs(e, func(n ir.Expr) {
+		if r, ok := n.(*ir.Ref); ok && r.IsArray() && l.facts.StableIndex(r.Name) {
+			found = true
+		}
+	})
+	return found
+}
+
+// innermostNonAffine descends into the smallest subexpression of e that
+// is itself non-affine: the concrete construct (index-array read, mod
+// call, scalar product) the analysis chokes on, rather than the whole
+// subscript expression around it.
+func innermostNonAffine(env *ir.AffineEnv, e ir.Expr) ir.Expr {
+	var kids []ir.Expr
+	switch n := e.(type) {
+	case *ir.Bin:
+		kids = []ir.Expr{n.L, n.R}
+	case *ir.Unary:
+		kids = []ir.Expr{n.X}
+	case *ir.Call:
+		kids = n.Args
+	case *ir.Ref:
+		kids = n.Subs
+	}
+	for _, k := range kids {
+		if _, affine := env.Affine(k); !affine {
+			return innermostNonAffine(env, k)
+		}
+	}
+	return e
 }
 
 // boundsRules proves every affine array subscript in or out of its declared

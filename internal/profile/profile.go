@@ -55,6 +55,14 @@ type SiteProfile struct {
 	SlackSumNS   int64   `json:"slack_sum_ns,omitempty"`
 	MaxSlackNS   int64   `json:"max_slack_ns,omitempty"`
 	LastByWorker []int64 `json:"last_by_worker,omitempty"`
+	// Inspector-site runtime behavior (inspector sites only): index-array
+	// scans executed, crossings certified conflict-free (all waits
+	// skipped), crossings that synthesized point-to-point waits, and
+	// conservative all-pairs fallbacks. Additive across merged runs.
+	Scans          int64 `json:"scans,omitempty"`
+	EmptyCrossings int64 `json:"empty_crossings,omitempty"`
+	WaitCrossings  int64 `json:"wait_crossings,omitempty"`
+	Conservative   int64 `json:"conservative,omitempty"`
 }
 
 // MeanSlack is the mean barrier-arrival slack per episode.
@@ -242,6 +250,10 @@ func Merge(ps ...*Profile) (*Profile, error) {
 			for w, c := range sp.LastByWorker {
 				dst.LastByWorker[w] += c
 			}
+			dst.Scans += sp.Scans
+			dst.EmptyCrossings += sp.EmptyCrossings
+			dst.WaitCrossings += sp.WaitCrossings
+			dst.Conservative += sp.Conservative
 		}
 	}
 	if err := out.normalize(); err != nil {

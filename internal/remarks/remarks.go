@@ -26,14 +26,18 @@ import (
 // comm.Class.String()/certify.Kind.String() so cross-layer comparisons are
 // plain string equality.
 const (
-	PrimNone     = "none"
-	PrimNeighbor = "neighbor"
-	PrimCounter  = "counter"
-	PrimBarrier  = "barrier"
+	PrimNone      = "none"
+	PrimNeighbor  = "neighbor"
+	PrimCounter   = "counter"
+	PrimInspector = "inspector"
+	PrimBarrier   = "barrier"
 )
 
-// ladder is the cost order used when merging rejection lists.
-var ladder = []string{PrimNone, PrimNeighbor, PrimCounter, PrimBarrier}
+// ladder is the cost order used when merging rejection lists. An
+// inspector (a runtime scan of the actual index arrays that certifies
+// "no conflict" or synthesizes point-to-point waits) is cheaper than a
+// barrier but dearer than the static primitives.
+var ladder = []string{PrimNone, PrimNeighbor, PrimCounter, PrimInspector, PrimBarrier}
 
 func ladderRank(p string) int {
 	for i, l := range ladder {
@@ -127,6 +131,11 @@ type Dependence struct {
 	// exact).
 	Note string    `json:"note,omitempty"`
 	FM   FMVerdict `json:"fm"`
+	// Irreg lists the irregular-access value facts (ranges, affine
+	// contents, monotonicity, permutation/injectivity) the analysis
+	// brought to bear on this pair — the evidence tier behind static
+	// eliminations of indirect accesses and behind inspector synthesis.
+	Irreg []string `json:"irreg,omitempty"`
 	// Rejected lists the cheaper primitives tried for this pair, cheapest
 	// first, each with the reason it was insufficient.
 	Rejected []Alternative `json:"rejected,omitempty"`
@@ -294,6 +303,9 @@ func (s *Set) Render() string {
 		for _, d := range r.Deps {
 			fmt.Fprintf(&sb, "  %s\n", d)
 			fmt.Fprintf(&sb, "    fm: %s\n", d.FM)
+			for _, f := range d.Irreg {
+				fmt.Fprintf(&sb, "    irreg: %s\n", f)
+			}
 		}
 		for _, a := range r.Rejected {
 			fmt.Fprintf(&sb, "  rejected %s: %s\n", a.Primitive, a.Reason)

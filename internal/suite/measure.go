@@ -42,6 +42,11 @@ type Metrics struct {
 	// (nil unless MeasureOptions.Trace).
 	BaseWait, OptWait *synctrace.Summary
 
+	// Inspector holds the optimized run's per-site inspector statistics
+	// (Table I), keyed by 1-based sync-site id; nil when the schedule has
+	// no inspector sites.
+	Inspector map[int]exec.InspectorSite
+
 	// Correctness cross-check against the sequential interpreter.
 	MaxDiff float64
 
@@ -147,6 +152,7 @@ func Measure(k Kernel, opt MeasureOptions) (Metrics, error) {
 	m.MaxDiff = exec.ComparableDiff(ref, ores.State, c.Prog)
 	m.DynOpt = ores.Stats
 	m.OptTime = ores.Elapsed
+	m.Inspector = ores.Inspector
 	m.BaseWait, m.OptWait, err = pairedMedianWait(base, optr,
 		synctrace.Summarize(bres.Trace), synctrace.Summarize(ores.Trace))
 	if err != nil {

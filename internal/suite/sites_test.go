@@ -18,7 +18,7 @@ import (
 // remarks say were kept, with the event kind the remark's primitive
 // predicts.
 func TestSiteNumberingAgreement(t *testing.T) {
-	for _, k := range Kernels() {
+	for _, k := range append(Kernels(), IrregularKernels()...) {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
 			t.Parallel()
@@ -109,6 +109,33 @@ func TestSiteNumberingAgreement(t *testing.T) {
 					if sc.Barriers+sc.CounterIncrs+sc.CounterWaits != 0 {
 						t.Errorf("neighbor site %d executed non-neighbor events %+v", id, sc)
 					}
+				case remarks.PrimInspector:
+					// Inspector waits are point-to-point (counted as
+					// neighbor waits); the site never runs a barrier or
+					// counter episode.
+					if sc.Barriers+sc.CounterIncrs+sc.CounterWaits != 0 {
+						t.Errorf("inspector site %d executed non-inspector events %+v", id, sc)
+					}
+				}
+			}
+
+			// Inspector stats share the sync-site numbering: every entry
+			// names an inspector site, and every inspector site reports.
+			for id := range res.Inspector {
+				if id < 1 || id > n {
+					t.Errorf("inspector stats for invalid site id %d", id)
+					continue
+				}
+				if r := set.BySite(id); r.Primitive != remarks.PrimInspector {
+					t.Errorf("inspector stats recorded at %s site %d", r.Primitive, id)
+				}
+			}
+			for i, r := range set.Remarks {
+				if r.Primitive != remarks.PrimInspector {
+					continue
+				}
+				if _, ok := res.Inspector[i+1]; !ok {
+					t.Errorf("inspector site %d reported no inspector stats", i+1)
 				}
 			}
 

@@ -33,6 +33,9 @@ import (
 type Sync struct {
 	Class                comm.Class
 	WaitLower, WaitUpper bool
+	// Inspect lists, for ClassInspector, the access pairs the runtime
+	// inspector scan must resolve at this boundary.
+	Inspect []comm.InspectPair
 	// Deps records the typed access-pair dependences that forced this
 	// class, each with positions, FM evidence and a per-pair rejection
 	// ladder.
@@ -62,7 +65,27 @@ type Sync struct {
 //     (where the flow's producers are a subset of the posters). This
 //     asymmetry is exactly the bug class the pipeline fuzzer catches if
 //     relaxed.
+//   - An inspector-class flow is ordered like a general flow by barriers
+//     (anywhere) and counters (at its source boundary), or by an
+//     inspector whose scan-pair list includes every pair of the flow: an
+//     inspector's point-to-point waits cover exactly the pairs its scan
+//     resolved, so an inspector placed for OTHER pairs proves nothing.
+//     The certifier applies the same rule — its inspector edge requires
+//     the boundary's recorded scan list to include the flow's pairs — so
+//     dropping a barrier that covered an inspector flow can never be
+//     masked by an unrelated inspector downstream.
 func (s Sync) covers(v comm.Verdict, atSource bool) bool {
+	if v.Class == comm.ClassInspector {
+		switch s.Class {
+		case comm.ClassBarrier:
+			return true
+		case comm.ClassCounter:
+			return atSource
+		case comm.ClassInspector:
+			return includesPairs(s.Inspect, v.Inspect)
+		}
+		return false
+	}
 	switch s.Class {
 	case comm.ClassBarrier:
 		return true
@@ -78,6 +101,42 @@ func (s Sync) covers(v comm.Verdict, atSource bool) bool {
 	}
 }
 
+// inspectKey identifies one scan pair. Refs and statements are pointers
+// into the shared IR, so identity is stable between the build that stored
+// the sync's pair list and a later Verify that re-derives the verdicts.
+type inspectKey struct {
+	array, carrier   string
+	srcRef, dstRef   *ir.Ref
+	srcStmt, dstStmt ir.Stmt
+	srcW, dstW       bool
+}
+
+func keyOf(p comm.InspectPair) inspectKey {
+	return inspectKey{
+		array: p.Array, carrier: p.Carrier,
+		srcRef: p.Src.Ref, dstRef: p.Dst.Ref,
+		srcStmt: p.Src.Stmt, dstStmt: p.Dst.Stmt,
+		srcW: p.Src.Write, dstW: p.Dst.Write,
+	}
+}
+
+// includesPairs reports whether every pair of want appears in have.
+func includesPairs(have, want []comm.InspectPair) bool {
+	if len(want) == 0 {
+		return false
+	}
+	set := make(map[inspectKey]bool, len(have))
+	for _, p := range have {
+		set[keyOf(p)] = true
+	}
+	for _, p := range want {
+		if !set[keyOf(p)] {
+			return false
+		}
+	}
+	return true
+}
+
 // promote combines the synchronization needed for direct flows (from the
 // group immediately before the boundary) with flows from earlier groups.
 // A counter at this boundary is posted only by the preceding group's
@@ -91,6 +150,14 @@ func promote(direct, earlier comm.Verdict) Sync {
 	combined := combineV(direct, earlier)
 	if earlier.Class == comm.ClassNeighbor &&
 		(direct.Class == comm.ClassNone || direct.Class == comm.ClassNeighbor) {
+		return syncFrom(combined)
+	}
+	// Inspector posts are unconditional (every worker posts at the
+	// boundary after finishing all its preceding work), and the merged
+	// scan-pair list covers the earlier flows too, so an inspector can
+	// order earlier-group flows the way a neighbor sync can.
+	if earlier.Class == comm.ClassInspector &&
+		(direct.Class == comm.ClassNone || direct.Class == comm.ClassInspector) {
 		return syncFrom(combined)
 	}
 	s := Sync{Class: comm.ClassBarrier, Deps: combined.Deps, FM: combined.FM}
@@ -122,7 +189,7 @@ func (s Sync) String() string {
 
 func syncFrom(v comm.Verdict) Sync {
 	return Sync{Class: v.Class, WaitLower: v.WaitLower, WaitUpper: v.WaitUpper,
-		Deps: v.Deps, FM: v.FM}
+		Inspect: v.Inspect, Deps: v.Deps, FM: v.FM}
 }
 
 // Group is a run of region statements requiring no internal
@@ -204,6 +271,22 @@ func buildRegion(a *comm.Analyzer, sched *Schedule, loop *ir.Loop, body []ir.Stm
 		return rs
 	}
 
+	// elim accumulates the dependences of pairs the irregular value facts
+	// helped prove None (no synchronization needed): merged-away and
+	// eliminated flows leave no boundary of their own, so their evidence
+	// is surfaced on the region's surviving boundary records instead.
+	var elim []remarks.Dependence
+	collectElim := func(v comm.Verdict) {
+		if v.Class != comm.ClassNone {
+			return
+		}
+		for _, d := range v.Deps {
+			if len(d.Irreg) > 0 {
+				elim = append(elim, d)
+			}
+		}
+	}
+
 	// Greedy grouping.
 	for _, s := range body {
 		if len(rs.Groups) == 0 {
@@ -213,11 +296,13 @@ func buildRegion(a *comm.Analyzer, sched *Schedule, loop *ir.Loop, body []ir.Stm
 		cur := len(rs.Groups) - 1
 		// Direct flows from the current group.
 		direct := a.Between(rs.Groups[cur].Stmts, []ir.Stmt{s}, inner, nil)
+		collectElim(direct)
 		// Flows from earlier groups not covered by intervening syncs.
 		earlier := comm.Verdict{Class: comm.ClassNone, Exact: true, FM: remarks.FMVerdict{Exact: true}}
 		for i := 0; i < cur; i++ {
 			v := a.Between(rs.Groups[i].Stmts, []ir.Stmt{s}, inner, nil)
 			if v.Class == comm.ClassNone {
+				collectElim(v)
 				continue
 			}
 			if !coveredPath(rs.After[i:cur], v, true) {
@@ -251,6 +336,7 @@ func buildRegion(a *comm.Analyzer, sched *Schedule, loop *ir.Loop, body []ir.Stm
 			for j := 0; j < n; j++ {
 				v := a.Between(rs.Groups[i].Stmts, rs.Groups[j].Stmts, outer, loop)
 				if v.Class == comm.ClassNone {
+					collectElim(v)
 					continue
 				}
 				// Boundaries crossed by the flow: after group
@@ -280,6 +366,12 @@ func buildRegion(a *comm.Analyzer, sched *Schedule, loop *ir.Loop, body []ir.Stm
 			sync = forceBarrier(sync)
 		}
 		rs.After[n-1] = sync
+	}
+	// Surface the eliminated-pair evidence on the region's last boundary
+	// (the loop bottom, or the trailing end-of-region record).
+	if len(elim) > 0 && len(rs.After) > 0 {
+		last := &rs.After[len(rs.After)-1]
+		last.Deps = append(last.Deps, elim...)
 	}
 	return rs
 }
@@ -321,9 +413,9 @@ func combineV(a, b comm.Verdict) comm.Verdict {
 		Pairs:     append(append([]string(nil), a.Pairs...), b.Pairs...),
 		Deps:      append(append([]remarks.Dependence(nil), a.Deps...), b.Deps...),
 	}
-	out.Class = a.Class
-	if b.Class > out.Class {
-		out.Class = b.Class
+	out.Class = comm.MixClass(a.Class, b.Class)
+	if out.Class == comm.ClassInspector {
+		out.Inspect = append(append([]comm.InspectPair(nil), a.Inspect...), b.Inspect...)
 	}
 	out.FM = a.FM
 	out.FM.Add(b.FM)
@@ -349,10 +441,11 @@ func forceBarrier(s Sync) Sync {
 // StaticCounts tallies synchronization sites by class across the whole
 // schedule (the paper's static table).
 type StaticCounts struct {
-	Barriers  int
-	Counters  int
-	Neighbors int
-	None      int
+	Barriers   int
+	Counters   int
+	Neighbors  int
+	Inspectors int
+	None       int
 }
 
 // Static returns the static synchronization-site counts.
@@ -367,6 +460,8 @@ func (s *Schedule) Static() StaticCounts {
 				c.Counters++
 			case comm.ClassNeighbor:
 				c.Neighbors++
+			case comm.ClassInspector:
+				c.Inspectors++
 			default:
 				c.None++
 			}

@@ -8,10 +8,12 @@
 # with its BENCH_exec.json envelope validation, the pooled 16-kernel
 # chaos+sanitizer reuse sweep, the Table P team-provisioning smoke
 # with its BENCH_pool.json envelope validation, the durable-profile
-# round trip (16-kernel -profile-out/-ledger sweep, byte-identity merge
+# round trip (full-kernel -profile-out/-ledger sweep, byte-identity merge
 # gate, 10-run baseline, chaos-stall regression watch), the profiling
-# overhead guard, and the Table H profile-rollup smoke with its
-# BENCH_profile.json envelope validation.
+# overhead guard, the Table H profile-rollup smoke with its
+# BENCH_profile.json envelope validation, the irregular-suite gates
+# (value facts, chaos + sanitizer over inspector-synthesized waits), and
+# the Table I inspector/executor smoke refreshing BENCH_irreg.json.
 # Run from anywhere; operates on the repository containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -129,6 +131,31 @@ smoke redblack -param N=64 -param T=3
 smoke pipeline -param N=64 -param M=16
 smoke dotchain -param N=64
 smoke guardedpivot -param N=32
+
+echo "== irregular suite gates (facts, certify, chaos, inspector) =="
+# The irregular-access tier: the -list-driven sweeps above already lint,
+# certify and remark every irregular kernel; here the value facts must
+# actually print, and each kernel must survive adversarial timing with
+# the sanitizer auditing the inspector-synthesized waits while the
+# runtime inspector reports per-site scan statistics.
+go run ./cmd/barrierc -irreg -kernel permcopy | grep -q "permutation" || {
+    echo "ERROR: barrierc -irreg lost the permutation fact on permcopy" >&2
+    exit 1
+}
+for k in permcopy gatherscatter spmvcsr edgerelax; do
+    echo "-- $k"
+    out="$(go run ./cmd/spmdrun -kernel "$k" -p 4 \
+        -watchdog 60s -chaos-seed 7 -sanitize)"
+    if [ "$k" != permcopy ]; then
+        # permcopy is fully static (no inspector sites); the rest must
+        # report inspector scans in the run summary.
+        echo "$out" | grep -q "inspector:" || {
+            echo "ERROR: $k: no inspector summary in spmdrun output" >&2
+            exit 1
+        }
+    fi
+done
+echo "-- irregular kernels chaos-clean under the sanitizer; inspector stats reported"
 
 echo "== trace smoke (spmdrun -trace) =="
 # The Chrome trace export must be valid JSON with per-worker tracks; the
@@ -326,6 +353,30 @@ for k in ("jacobi2d", "pipeline"):
     assert r["sites"] > 0 and r["p99_ns"] >= r["p50_ns"] >= 0, r
 print("-- BENCH_profile.json valid; p99:",
       ", ".join(f"{k}={rows[k]['p99_ns']}ns" for k in rows))
+EOF
+fi
+
+echo "== benchtab Table I smoke (BENCH_irreg.json) =="
+# The inspector/executor envelope: Table I must build, refresh the
+# committed BENCH_irreg.json artifact at the repo root, and show >= 50%
+# dynamic barrier-crossing elimination on every irregular kernel (the
+# acceptance floor), with the fully static kernels at 100%.
+go run ./cmd/benchtab -table I -p 8 -out BENCH_irreg.json | tail -n 4
+if command -v python3 >/dev/null 2>&1; then
+    python3 - BENCH_irreg.json <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema_version"] == 1, d
+assert d["tool"] == "benchtab-irreg", d
+rows = {r["kernel"]: r for r in d["payload"]["rows"]}
+for k in ("permcopy", "gatherscatter", "spmvcsr", "edgerelax"):
+    assert k in rows, f"{k} missing from BENCH_irreg.json"
+    r = rows[k]
+    assert r["reduction"] >= 0.5, f"{k}: reduction {r['reduction']:.3f} < 0.5 floor"
+    assert r["base_barriers"] > r["opt_barriers"], r
+assert d["payload"]["mean_reduction"] >= 0.5, d["payload"]["mean_reduction"]
+print("-- BENCH_irreg.json valid; reductions:",
+      ", ".join(f"{k}={rows[k]['reduction']:.0%}" for k in rows))
 EOF
 fi
 

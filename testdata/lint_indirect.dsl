@@ -1,0 +1,22 @@
+program indirect
+param N, T
+real A(N), B(N), C(N), idx(N), p(max(N, 1))
+p(1) = 1.0
+do kk = 2, N
+  p(kk) = p(kk - 1) + 1.0
+end do
+parallel do i = 1, N
+  idx(i) = N - i + 1.0
+end do
+do t = 1, T
+  parallel do i = 1, N
+    B(idx(i)) = A(i) + B(idx(i))
+  end do
+  parallel do i = 1, N
+    C(p(i)) = B(i) * 0.5
+  end do
+  parallel do i = 1, N
+    A(mod(i * i, N) + 1) = C(i) + B(idx(i))
+  end do
+end do
+end
