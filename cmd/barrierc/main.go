@@ -43,12 +43,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/decomp"
 	"repro/internal/envelope"
+	"repro/internal/fdo"
 	"repro/internal/lint"
+	"repro/internal/profile"
 	"repro/internal/remarks"
 	"repro/internal/suite"
 	"repro/internal/syncopt"
@@ -68,6 +71,7 @@ func main() {
 		remarksF = flag.Bool("remarks", false, "print per-sync-site optimization remarks (why each site was kept, weakened or eliminated)")
 		irregF   = flag.Bool("irreg", false, "print the irregular-access value facts and the sync decisions they enabled")
 		jsonOut  = flag.Bool("json", false, "with -remarks: print the remark set as a versioned JSON envelope")
+		fdoIn    = flag.String("fdo", "", "feed a measured profile (spmdrun -profile-out) back through the feedback-directed optimizer; composes with -remarks/-certify")
 	)
 	flag.Parse()
 
@@ -118,6 +122,23 @@ func main() {
 		fail(err)
 	}
 
+	var fres *fdo.Result
+	if *fdoIn != "" {
+		prior, err := profile.Load(*fdoIn)
+		if err != nil {
+			fail(err)
+		}
+		// Everything downstream — -remarks, -certify, the schedule dump —
+		// sees the re-optimized compilation, so the flipped sites carry
+		// their profile evidence into whatever view was asked for.
+		c, fres, err = c.Reoptimize(prior, fdo.Options{})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "barrierc: fdo applied %d flip(s) from %s (predicted save %s/run)\n",
+			fres.Flips, *fdoIn, time.Duration(fres.PredictedSaveNS))
+	}
+
 	if *certF {
 		runCertify(c, *sabot, *witness)
 		return
@@ -160,6 +181,17 @@ func main() {
 	st, bst := c.Schedule.Static(), c.Baseline.Static()
 	fmt.Printf("static sync sites: base %d barriers -> opt %d barriers, %d counters, %d neighbor\n",
 		bst.Barriers, st.Barriers, st.Counters, st.Neighbors)
+	if fres != nil {
+		fmt.Printf("fdo: %d flip(s), predicted save %s/run\n", fres.Flips, time.Duration(fres.PredictedSaveNS))
+		for _, d := range fres.Decisions {
+			switch d.Action {
+			case "weaken", "promote":
+				fmt.Printf("  site %d: %s %s -> %s (%s)\n", d.Site, d.Action, d.From, d.To, d.Reason)
+			case "algo":
+				fmt.Printf("  site %d: recommend %s barrier (%s)\n", d.Site, d.BarrierAlgo, d.Reason)
+			}
+		}
+	}
 	fmt.Println("\nschedule:")
 	fmt.Print(c.Schedule.Dump())
 }

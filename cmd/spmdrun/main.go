@@ -26,6 +26,8 @@
 //	spmdrun -kernel jacobi2d -p 8 -report [-json]
 //	spmdrun -kernel jacobi2d -p 8 -backend interp -json
 //	spmdrun -kernel jacobi2d -p 8 -trace out.json -trace-summary
+//	spmdrun -kernel dotchain -p 4 -profile-out prof.json
+//	spmdrun -kernel dotchain -p 4 -profile-in prof.json -json
 //	spmdrun -p 4 -mode base -param N=256 -param T=10 prog.dsl
 package main
 
@@ -45,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/envelope"
 	"repro/internal/exec"
+	"repro/internal/fdo"
 	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/remarks"
@@ -97,6 +100,11 @@ type runPayload struct {
 	Violations     int      `json:"violations,omitempty"`
 	VerifyDiff     *float64 `json:"verify_max_abs_diff,omitempty"`
 	SanitizerClean *bool    `json:"sanitizer_clean,omitempty"`
+	// TracingForced reports that tracing was auto-enabled (by -report,
+	// -profile-out, -ledger or -profile-in) rather than requested.
+	TracingForced bool `json:"tracing_forced,omitempty"`
+	// FDO is the feedback pass's decision log (only with -profile-in).
+	FDO *fdo.Result `json:"fdo,omitempty"`
 	// Inspector holds per-site runtime inspector statistics, keyed by the
 	// 1-based sync-site id (only on schedules with inspector sites).
 	Inspector map[int]exec.InspectorSite `json:"inspector,omitempty"`
@@ -120,7 +128,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers = fs.Int("p", 8, "number of workers")
 		mode    = fs.String("mode", "opt", "base (fork-join) or opt (SPMD)")
 		backend = fs.String("backend", "closure", "executor backend: closure (compiled) or interp (tree-walking oracle)")
-		barrier = fs.String("barrier", "central", "barrier implementation: central, tree, dissemination")
+		barrier = fs.String("barrier", "central", "barrier implementation: central, tree, dissemination, or auto (adopt the -profile-in recommendation)")
 		verify  = fs.Bool("verify", true, "compare against the sequential interpreter")
 		det     = fs.Bool("det", false, "deterministic (rank-ordered) reduction merges")
 		jsonOut = fs.Bool("json", false, "print the result as a versioned JSON envelope on stdout")
@@ -143,6 +151,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceCap = fs.Int("trace-buf", 0, "per-worker trace ring capacity in events (0 = default 65536; oldest events drop when full)")
 
 		profileOut  = fs.String("profile-out", "", "write the run's durable sync profile as an envelope-wrapped JSON file (forces tracing; merge/diff with spmdprof)")
+		profileIn   = fs.String("profile-in", "", "feed a prior run's profile (from -profile-out) back through the feedback-directed optimizer; the run executes the re-optimized schedule")
 		ledgerPath  = fs.String("ledger", "", "append one envelope-wrapped record (profile + compile costs + result metadata) to this run-ledger file (forces tracing)")
 		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus text exposition on this address at /metrics (debug listener; expvar stays on /debug/vars)")
 	)
@@ -193,14 +202,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		src = string(b)
 	}
 
-	var bk spmdrt.BarrierKind
+	// From here on the flags are one typed Request; core.Do owns the
+	// exec.Config assembly (including the tracing forced by -report,
+	// -profile-out and -ledger, which need the trace's wait sketches).
+	req := core.NewRequest(src, core.WithParams(params), core.WithWorkers(*workers))
 	switch *barrier {
 	case "central":
-		bk = spmdrt.Central
+		req.Run.Barrier = spmdrt.Central
 	case "tree":
-		bk = spmdrt.Tree
+		req.Run.Barrier = spmdrt.Tree
 	case "dissemination":
-		bk = spmdrt.Dissemination
+		req.Run.Barrier = spmdrt.Dissemination
+	case "auto":
+		// Adopt the feedback pass's recommendation when -profile-in
+		// produced one; central otherwise.
+		req.Run.BarrierAuto = true
 	default:
 		return fail(fmt.Errorf("unknown barrier %q", *barrier))
 	}
@@ -208,26 +224,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-
-	c, err := core.Compile(src, core.Options{})
-	if err != nil {
-		return fail(err)
+	req.Run.Backend = be
+	switch *mode {
+	case "base":
+		req.Run.Baseline = true
+	case "opt":
+	default:
+		return fail(fmt.Errorf("unknown mode %q (want base or opt)", *mode))
 	}
-	// Profiles and ledger records need the wait sketches only the trace
-	// provides, so -profile-out/-ledger force tracing like -report does.
-	// The notice keeps the forcing visible without touching stdout.
-	traceAsked := *traceOut != "" || *traceSum
-	traceForced := !traceAsked && (*report || *profileOut != "" || *ledgerPath != "")
-	if traceForced {
-		why := "-report"
-		switch {
-		case *profileOut != "":
-			why = "-profile-out"
-		case *ledgerPath != "":
-			why = "-ledger"
+	if *profileIn != "" {
+		prior, err := profile.Load(*profileIn)
+		if err != nil {
+			return fail(err)
 		}
-		fmt.Fprintf(stderr, "spmdrun: tracing auto-enabled by %s (sync events recorded this run)\n", why)
+		core.WithFDOProfile(prior, fdo.Options{})(&req)
 	}
+	req.Run.Det = *det
+	req.Run.Watchdog = *watchdog
+	req.Run.ChaosSeed = *chaos
+	req.Run.ChaosStall = *chaosStall
+	req.Run.Sabotage = *sabotage
+	req.Run.Sanitize = *sanitize
+	req.Run.Trace = *traceOut != "" || *traceSum
+	req.Run.TraceBufCap = *traceCap
+	req.Run.NoPool = !*poolOn
+	req.Run.Report = *report
+	req.Run.Profile = *profileOut != "" || *ledgerPath != "" || *metricsAddr != ""
+	if *deadline > 0 || *retries > 0 || *seqFall {
+		// core stamps Certified from the memoized certify verdict, so
+		// hangs retry only on schedules proved deadlock-free.
+		req.Run.Policy = &exec.RunPolicy{Deadline: *deadline, MaxRetries: *retries,
+			SequentialFallback: *seqFall}
+	}
+
 	if *metricsAddr != "" {
 		srv, err := metrics.Serve(*metricsAddr)
 		if err != nil {
@@ -236,46 +265,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer srv.Close()
 		fmt.Fprintf(stderr, "metrics:  serving http://%s/metrics (Prometheus text exposition)\n", srv.Addr)
 	}
-	cfg := exec.Config{Workers: *workers, Barrier: bk, Params: params,
-		Backend:                 be,
-		DeterministicReductions: *det,
-		WatchdogTimeout:         *watchdog,
-		ChaosSeed:               *chaos,
-		ChaosStall:              *chaosStall,
-		SabotageEdge:            *sabotage,
-		Sanitize:                *sanitize,
-		Trace:                   traceAsked || traceForced,
-		TraceBufCap:             *traceCap,
-		NoPool:                  !*poolOn}
-	if *deadline > 0 || *retries > 0 || *seqFall {
-		// core stamps Certified from the memoized certify verdict, so
-		// hangs retry only on schedules proved deadlock-free.
-		cfg.Policy = &exec.RunPolicy{Deadline: *deadline, MaxRetries: *retries,
-			SequentialFallback: *seqFall}
-	}
-	var runner *core.Runner
-	switch *mode {
-	case "base":
-		runner, err = c.NewBaselineRunner(cfg)
-	case "opt":
-		cfg.Mode = exec.SPMD
-		runner, err = c.NewRunner(cfg)
-	default:
-		err = fmt.Errorf("unknown mode %q (want base or opt)", *mode)
-	}
+
+	res, err := core.Do(ctx, req)
 	if err != nil {
 		return fail(err)
 	}
-	res, err := runner.RunContext(ctx)
-	if err != nil {
-		return fail(err)
+	runner := res.Runner
+	c := runner.Compiled()
+	bkName := runner.BarrierName()
+	if res.FDO != nil {
+		fmt.Fprintf(stderr, "fdo:      %d flip(s), predicted save %s/run", res.FDO.Flips,
+			time.Duration(res.FDO.PredictedSaveNS))
+		if res.FDO.BarrierAlgo != "" {
+			fmt.Fprintf(stderr, ", recommend %s barrier", res.FDO.BarrierAlgo)
+			if req.Run.BarrierAuto {
+				fmt.Fprint(stderr, " (adopted)")
+			}
+		}
+		fmt.Fprintln(stderr)
+	}
+	if res.TracingForced {
+		why := "-report"
+		switch {
+		case *profileOut != "":
+			why = "-profile-out"
+		case *ledgerPath != "":
+			why = "-ledger"
+		case *metricsAddr != "":
+			why = "-metrics-addr"
+		case *profileIn != "":
+			why = "-profile-in"
+		}
+		fmt.Fprintf(stderr, "spmdrun: tracing auto-enabled by %s (sync events recorded this run)\n", why)
 	}
 
 	pay := runPayload{
 		Program:   c.Prog.Name,
 		Mode:      *mode,
 		Workers:   *workers,
-		Barrier:   bk.String(),
+		Barrier:   bkName,
 		Backend:   be.String(),
 		ElapsedNS: res.Elapsed.Nanoseconds(),
 		Checksum:  res.State.Checksum(),
@@ -292,13 +320,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pay.Sync.Dispatches = res.Stats.Dispatches
 	pay.Violations = len(res.Certify.Violations)
 	pay.Inspector = res.Inspector
-	if *report {
-		pay.Report = runner.SyncReport(res)
-	}
+	pay.TracingForced = res.TracingForced
+	pay.FDO = res.FDO
+	pay.Report = res.Report
 
 	if !*jsonOut {
 		fmt.Fprintf(stdout, "program %s  mode=%s  P=%d  barrier=%s  backend=%s\n",
-			c.Prog.Name, *mode, *workers, bk, be)
+			c.Prog.Name, *mode, *workers, bkName, be)
+		if res.FDO != nil {
+			fmt.Fprintf(stdout, "fdo:      %d flip(s), predicted save %s/run\n",
+				res.FDO.Flips, time.Duration(res.FDO.PredictedSaveNS))
+		}
 		fmt.Fprintf(stdout, "elapsed:  %s\n", res.Elapsed)
 		team := "cold-spawn"
 		switch {
@@ -389,8 +421,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			verdict = "PASS"
 		}
 	}
-	if *profileOut != "" || *ledgerPath != "" || *metricsAddr != "" {
-		prof := runner.Profile(res)
+	if res.Profile != nil {
+		prof := res.Profile
 		metrics.SetProfile(prof)
 		if *profileOut != "" {
 			if err := profile.WriteFile(*profileOut, prof); err != nil {

@@ -120,6 +120,66 @@ func TestTextReportOnStdout(t *testing.T) {
 	}
 }
 
+// TestProfileFeedbackRoundTrip drives the full feedback loop through the
+// CLI surface: -profile-out records a profile (tracing force-enabled and
+// declared in the envelope), and feeding it back with -profile-in applies
+// certified flips whose decision log lands in the payload.
+func TestProfileFeedbackRoundTrip(t *testing.T) {
+	prof := t.TempDir() + "/prof.json"
+
+	var stdout, stderr bytes.Buffer
+	args := []string{"-kernel", "meshsmooth", "-p", "4", "-json", "-profile-out", prof}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr:\n%s", args, code, stderr.String())
+	}
+	env, err := envelope.Decode(stdout.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pay runPayload
+	if err := env.Into(&pay); err != nil {
+		t.Fatal(err)
+	}
+	if !pay.TracingForced {
+		t.Error("-profile-out run not marked tracing_forced in the envelope")
+	}
+	if pay.FDO != nil {
+		t.Error("profiling run has an FDO decision log without -profile-in")
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	args = []string{"-kernel", "meshsmooth", "-p", "4", "-json", "-profile-in", prof, "-barrier", "auto"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr:\n%s", args, code, stderr.String())
+	}
+	env, err = envelope.Decode(stdout.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pay = runPayload{}
+	if err := env.Into(&pay); err != nil {
+		t.Fatal(err)
+	}
+	if !pay.TracingForced {
+		t.Error("-profile-in run not marked tracing_forced in the envelope")
+	}
+	if pay.FDO == nil {
+		t.Fatal("-profile-in payload has no FDO decision log")
+	}
+	if pay.FDO.Flips == 0 {
+		t.Error("feedback pass applied no flips on meshsmooth (expected certified inspector->counter weakens)")
+	}
+	for _, d := range pay.FDO.Decisions {
+		if (d.Action == "weaken" || d.Action == "promote") && !d.Certified {
+			t.Errorf("flip at site %d (%s %s->%s) not certified", d.Site, d.Action, d.From, d.To)
+		}
+	}
+	if !pay.Certified {
+		t.Error("re-optimized run not certified")
+	}
+}
+
 // TestRunErrorsExitNonzero checks error paths return 1 and keep stdout
 // empty (errors go to stderr).
 func TestRunErrorsExitNonzero(t *testing.T) {

@@ -1,0 +1,266 @@
+// The typed request/response facade: one Request value describes an
+// entire compile-and-run — source, compile-time choices, run-time
+// configuration — and one Do call executes it. The CLIs construct a
+// Request from their flags instead of poking exec.Config fields by hand;
+// exec.Config remains the executor's internal configuration surface and
+// is assembled here, in exactly one place.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/decomp"
+	"repro/internal/exec"
+	"repro/internal/fdo"
+	"repro/internal/profile"
+	"repro/internal/spmdrt"
+	"repro/internal/syncopt"
+)
+
+// CompileOptions are a Request's compile-time choices.
+type CompileOptions struct {
+	// Lint runs the source linter first; findings abort with *LintError.
+	Lint bool
+	// Certify requires the schedule the run will execute to pass the
+	// independent static certifier; Do fails with *CertifyError otherwise.
+	Certify bool
+	// Decomp/Sync/MinParam mirror Options (the pipeline knobs).
+	Decomp   decomp.Kind
+	Sync     syncopt.Options
+	MinParam int64
+	// FDOProfile, when set, feeds a prior run's measured profile back
+	// through the feedback-directed optimizer: the run executes the
+	// re-optimized schedule and Result.FDO records the decisions. The
+	// profile must match this compilation's identity hashes
+	// (profile.ErrHashMismatch otherwise).
+	FDOProfile *profile.Profile
+	// FDO are the feedback pass's thresholds (zero value = defaults).
+	FDO fdo.Options
+}
+
+// RunOptions are a Request's run-time configuration.
+type RunOptions struct {
+	// P is the worker count (default 8).
+	P int
+	// Baseline runs the fork-join baseline schedule instead of the
+	// optimized one.
+	Baseline bool
+	// Backend selects the executor backend (default Closure).
+	Backend exec.Backend
+	// Barrier selects the barrier implementation (default Central).
+	Barrier spmdrt.BarrierKind
+	// BarrierAuto adopts the feedback pass's barrier-algorithm
+	// recommendation (when one exists) over Barrier.
+	BarrierAuto bool
+	// Params are the program parameters.
+	Params map[string]int64
+	// Policy is the retry/fallback run policy (Certified is stamped from
+	// the memoized certify verdict; the caller's value is not mutated).
+	Policy *exec.RunPolicy
+	// Trace records sync events. Profile and Report need the trace's wait
+	// sketches, so either forces tracing; Result.TracingForced reports
+	// when that happened.
+	Trace bool
+	// TraceBufCap overrides the per-worker trace ring capacity.
+	TraceBufCap int
+	// Profile assembles the run's durable sync profile into
+	// Result.Profile (forces tracing).
+	Profile bool
+	// Report joins static remarks with runtime waits into Result.Report
+	// (forces tracing).
+	Report bool
+	// Sanitize runs the schedule-soundness sanitizer.
+	Sanitize bool
+	// Watchdog aborts the run when a worker blocks this long (0 disables).
+	Watchdog time.Duration
+	// ChaosSeed/ChaosStall enable deterministic chaos injection.
+	ChaosSeed  int64
+	ChaosStall time.Duration
+	// Sabotage drops the sync edge with this 1-based site id (testing aid).
+	Sabotage int
+	// Det forces deterministic (rank-ordered) reduction merges.
+	Det bool
+	// NoPool cold-spawns the worker team instead of using the pool.
+	NoPool bool
+}
+
+// Request is one complete compile-and-run description.
+type Request struct {
+	// Source is the DSL program text.
+	Source  string
+	Compile CompileOptions
+	Run     RunOptions
+}
+
+// RequestOption mutates a Request under construction (NewRequest).
+type RequestOption func(*Request)
+
+// NewRequest builds a Request for src with functional options applied in
+// order. The zero Request (opt schedule, 8 workers, closure backend,
+// central barrier, pooled team) is valid without any options.
+func NewRequest(src string, opts ...RequestOption) Request {
+	r := Request{Source: src}
+	for _, o := range opts {
+		o(&r)
+	}
+	return r
+}
+
+// WithLint enables the pre-compile source linter.
+func WithLint() RequestOption { return func(r *Request) { r.Compile.Lint = true } }
+
+// WithCertify requires the executed schedule to pass the certifier.
+func WithCertify() RequestOption { return func(r *Request) { r.Compile.Certify = true } }
+
+// WithFDOProfile feeds a prior run's profile back through the
+// feedback-directed optimizer with the given thresholds.
+func WithFDOProfile(p *profile.Profile, opt fdo.Options) RequestOption {
+	return func(r *Request) { r.Compile.FDOProfile, r.Compile.FDO = p, opt }
+}
+
+// WithWorkers sets the worker count.
+func WithWorkers(p int) RequestOption { return func(r *Request) { r.Run.P = p } }
+
+// WithBaseline selects the fork-join baseline schedule.
+func WithBaseline() RequestOption { return func(r *Request) { r.Run.Baseline = true } }
+
+// WithBackend selects the executor backend.
+func WithBackend(b exec.Backend) RequestOption { return func(r *Request) { r.Run.Backend = b } }
+
+// WithBarrier selects the barrier implementation.
+func WithBarrier(k spmdrt.BarrierKind) RequestOption { return func(r *Request) { r.Run.Barrier = k } }
+
+// WithParams sets the program parameters.
+func WithParams(params map[string]int64) RequestOption {
+	return func(r *Request) { r.Run.Params = params }
+}
+
+// WithPolicy sets the retry/fallback run policy.
+func WithPolicy(p *exec.RunPolicy) RequestOption { return func(r *Request) { r.Run.Policy = p } }
+
+// WithTrace records sync events.
+func WithTrace() RequestOption { return func(r *Request) { r.Run.Trace = true } }
+
+// WithProfile assembles the run's durable sync profile (forces tracing).
+func WithProfile() RequestOption { return func(r *Request) { r.Run.Profile = true } }
+
+// WithReport builds the static×runtime sync report (forces tracing).
+func WithReport() RequestOption { return func(r *Request) { r.Run.Report = true } }
+
+// CertifyError reports that Compile.Certify was set and the schedule the
+// run would execute failed certification.
+type CertifyError struct {
+	Verdict Verdict
+}
+
+func (e *CertifyError) Error() string {
+	if e.Verdict.Err != nil {
+		return fmt.Sprintf("core: certifier failed: %v", e.Verdict.Err)
+	}
+	return fmt.Sprintf("core: schedule not certified: %d unordered flow(s)", len(e.Verdict.Violations))
+}
+
+// Do executes one Request end to end: lint (optional), compile, feedback
+// re-optimization (when Compile.FDOProfile is set), certification gate
+// (when Compile.Certify is set), and the run itself. The returned Result
+// carries everything the request asked for — the run result and verdict as
+// always, plus Profile/Report/FDO/TracingForced — and Result.Runner for
+// callers that need further runs or the ledger assembly.
+func Do(ctx context.Context, req Request) (*Result, error) {
+	c, err := Compile(req.Source, Options{
+		Decomp:   req.Compile.Decomp,
+		Sync:     req.Compile.Sync,
+		MinParam: req.Compile.MinParam,
+		Lint:     req.Compile.Lint,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var fres *fdo.Result
+	if req.Compile.FDOProfile != nil {
+		if req.Run.Baseline {
+			return nil, fmt.Errorf("core: feedback re-optimization applies to the optimized schedule, not the fork-join baseline")
+		}
+		c, fres, err = c.Reoptimize(req.Compile.FDOProfile, req.Compile.FDO)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// A feedback-driven run also traces: the re-optimized schedule must
+	// measure itself so the loop can iterate (profile the FDO run, feed
+	// it back again) and so wait-vs-wait comparisons against the static
+	// leg see identical instrumentation.
+	tracingForced := !req.Run.Trace &&
+		(req.Run.Profile || req.Run.Report || req.Compile.FDOProfile != nil)
+	workers := req.Run.P
+	if workers == 0 {
+		workers = 8
+	}
+	barrier := req.Run.Barrier
+	if req.Run.BarrierAuto && fres != nil && fres.BarrierAlgo != "" {
+		switch fres.BarrierAlgo {
+		case "tree":
+			barrier = spmdrt.Tree
+		case "dissemination":
+			barrier = spmdrt.Dissemination
+		case "central":
+			barrier = spmdrt.Central
+		}
+	}
+	cfg := exec.Config{
+		Workers:                 workers,
+		Barrier:                 barrier,
+		Params:                  req.Run.Params,
+		Backend:                 req.Run.Backend,
+		DeterministicReductions: req.Run.Det,
+		WatchdogTimeout:         req.Run.Watchdog,
+		ChaosSeed:               req.Run.ChaosSeed,
+		ChaosStall:              req.Run.ChaosStall,
+		SabotageEdge:            req.Run.Sabotage,
+		Sanitize:                req.Run.Sanitize,
+		Trace:                   req.Run.Trace || tracingForced,
+		TraceBufCap:             req.Run.TraceBufCap,
+		NoPool:                  req.Run.NoPool,
+		Policy:                  req.Run.Policy,
+	}
+
+	var runner *Runner
+	if req.Run.Baseline {
+		runner, err = c.NewBaselineRunner(cfg)
+	} else {
+		cfg.Mode = exec.SPMD
+		runner, err = c.NewRunner(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if req.Compile.Certify {
+		v := c.Verdict()
+		if req.Run.Baseline {
+			v = c.BaselineVerdict()
+		}
+		if !v.Certified {
+			return nil, &CertifyError{Verdict: v}
+		}
+	}
+
+	res, err := runner.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res.Runner = runner
+	res.FDO = fres
+	res.TracingForced = tracingForced
+	if req.Run.Profile {
+		res.Profile = runner.Profile(res)
+	}
+	if req.Run.Report {
+		res.Report = runner.SyncReport(res)
+	}
+	return res, nil
+}

@@ -5,7 +5,9 @@ import (
 
 	"repro/internal/certify"
 	"repro/internal/exec"
+	"repro/internal/fdo"
 	"repro/internal/interp"
+	"repro/internal/profile"
 	"repro/internal/remarks"
 )
 
@@ -66,6 +68,20 @@ type Result struct {
 	// Fourier-Motzkin solver work), copied from the Compiled so every
 	// result carries the compile-time cost alongside the run-time one.
 	Costs remarks.Costs
+
+	// The remaining fields are filled only by Do, per the Request.
+	// Runner is the runner that produced this result, for callers that
+	// need further runs, the schedule hash, or the ledger assembly.
+	Runner *Runner
+	// FDO is the feedback pass's decision log (Compile.FDOProfile set).
+	FDO *fdo.Result
+	// TracingForced reports that tracing was enabled by Profile/Report
+	// rather than requested (the `tracing_forced` envelope field).
+	TracingForced bool
+	// Profile is the run's durable sync profile (Run.Profile set).
+	Profile *profile.Profile
+	// Report is the static×runtime sync report (Run.Report set).
+	Report *remarks.Report
 }
 
 // Runner executes one compiled schedule. It embeds the executor's runner —

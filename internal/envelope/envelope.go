@@ -42,6 +42,9 @@ const (
 	// ToolIrregBench wraps the Table I irregular-suite report
 	// (BENCH_irreg.json).
 	ToolIrregBench = "benchtab-irreg"
+	// ToolFDOBench wraps the Table F static-vs-profile-guided report
+	// (BENCH_fdo.json).
+	ToolFDOBench = "benchtab-fdo"
 )
 
 // Envelope is the wrapper around one tool artifact.

@@ -8,6 +8,7 @@ package interp
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/ir"
 )
@@ -154,17 +155,30 @@ func (st *State) MaxAbsDiff(other *State) float64 {
 	return worst
 }
 
-// Checksum returns an order-independent digest of all array contents,
-// useful as a cheap fingerprint in benchmarks.
+// Checksum returns a digest of all array and scalar contents, useful as
+// a cheap fingerprint in benchmarks. Summation follows sorted names:
+// float addition is not associative, so map iteration order would
+// otherwise leak into the low bits and break bitwise run-to-run
+// comparison of -det checksums.
 func (st *State) Checksum() float64 {
+	names := make([]string, 0, len(st.arrays))
+	for name := range st.arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	sum := 0.0
-	for _, a := range st.arrays {
-		for _, v := range a.Data {
+	for _, name := range names {
+		for _, v := range st.arrays[name].Data {
 			sum += v
 		}
 	}
-	for _, v := range st.Scalars {
-		sum += v
+	snames := make([]string, 0, len(st.Scalars))
+	for name := range st.Scalars {
+		snames = append(snames, name)
+	}
+	sort.Strings(snames)
+	for _, name := range snames {
+		sum += st.Scalars[name]
 	}
 	return sum
 }

@@ -35,17 +35,17 @@ func WriteFile(path string, p *Profile) error {
 func Decode(data []byte) (*Profile, error) {
 	env, err := envelope.Decode(data)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrEnvelope, err)
 	}
 	if env.Tool != envelope.ToolProfile {
-		return nil, fmt.Errorf("profile: envelope is from %q, want %q", env.Tool, envelope.ToolProfile)
+		return nil, fmt.Errorf("%w: envelope is from %q, want %q", ErrEnvelope, env.Tool, envelope.ToolProfile)
 	}
 	var p Profile
 	if err := env.Into(&p); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrEnvelope, err)
 	}
 	if p.Schema < 1 || p.Schema > Schema {
-		return nil, fmt.Errorf("profile: schema %d unsupported (this build reads 1..%d)", p.Schema, Schema)
+		return nil, fmt.Errorf("%w: schema %d (this build reads 1..%d)", ErrSchema, p.Schema, Schema)
 	}
 	if err := p.normalize(); err != nil {
 		return nil, err
@@ -131,15 +131,15 @@ func ReadLedger(r io.Reader) ([]*LedgerRecord, error) {
 		}
 		env, err := envelope.Decode(line)
 		if err != nil {
-			return nil, fmt.Errorf("ledger line %d: %w", lineNo, err)
+			return nil, fmt.Errorf("ledger line %d: %w: %w", lineNo, ErrEnvelope, err)
 		}
 		if env.Tool != envelope.ToolLedger {
-			return nil, fmt.Errorf("ledger line %d: envelope is from %q, want %q",
-				lineNo, env.Tool, envelope.ToolLedger)
+			return nil, fmt.Errorf("ledger line %d: %w: envelope is from %q, want %q",
+				lineNo, ErrEnvelope, env.Tool, envelope.ToolLedger)
 		}
 		var rec LedgerRecord
 		if err := env.Into(&rec); err != nil {
-			return nil, fmt.Errorf("ledger line %d: %w", lineNo, err)
+			return nil, fmt.Errorf("ledger line %d: %w: %w", lineNo, ErrEnvelope, err)
 		}
 		if rec.Profile == nil {
 			return nil, fmt.Errorf("ledger line %d: record has no profile", lineNo)

@@ -179,7 +179,10 @@ func (p *Profile) Compatible(o *Profile) error {
 		{"backend", p.Backend, o.Backend},
 	} {
 		if f.a != f.b {
-			return fmt.Errorf("profile: incompatible %s: %q vs %q", f.name, f.a, f.b)
+			if f.name == "program_hash" || f.name == "schedule_hash" {
+				return fmt.Errorf("%w: %s %q vs %q", ErrHashMismatch, f.name, f.a, f.b)
+			}
+			return fmt.Errorf("%w: %s %q vs %q", ErrIncompatible, f.name, f.a, f.b)
 		}
 	}
 	return nil

@@ -183,6 +183,10 @@ type Remark struct {
 	// Note explains decisions not driven by an access pair (baseline join
 	// barriers, ablations, proven-empty boundaries).
 	Note string `json:"note,omitempty"`
+	// FDO, when set, records the feedback-directed re-optimization of
+	// this site: the prior primitive, the measured evidence and the
+	// predicted saving (see FDORemark).
+	FDO *FDORemark `json:"fdo,omitempty"`
 }
 
 // Eliminated reports whether this site needs no runtime synchronization.
@@ -309,6 +313,9 @@ func (s *Set) Render() string {
 		}
 		for _, a := range r.Rejected {
 			fmt.Fprintf(&sb, "  rejected %s: %s\n", a.Primitive, a.Reason)
+		}
+		if r.FDO != nil {
+			fmt.Fprintf(&sb, "  %s\n", r.FDO)
 		}
 		if r.FM.Systems > 0 {
 			fmt.Fprintf(&sb, "  fm total: %s\n", r.FM)

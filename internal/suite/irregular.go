@@ -111,6 +111,35 @@ end
 			Params: map[string]int64{"N": 512, "T": 8},
 		},
 		{
+			Name:  "meshsmooth",
+			Shape: "unstructured-mesh smoothing; gather through a neighbor table",
+			Source: `
+program meshsmooth
+param N, T
+real u(N), f(N), r(N), nb(max(N, 1))
+nb(1) = min(5, N)
+do kk = 2, N
+  nb(kk) = mod(nb(kk - 1) + 6.0, N) + 1.0
+end do
+parallel do i = 1, N
+  r(i) = 0.001 * i
+end do
+parallel do i = 1, N
+  u(i) = 1.0
+end do
+do t = 1, T
+  parallel do i = 1, N
+    f(i) = u(i) * 0.5 + r(i)
+  end do
+  parallel do i = 1, N
+    u(i) = u(i) * 0.6 + f(nb(i)) * 0.4
+  end do
+end do
+end
+`,
+			Params: map[string]int64{"N": 1024, "T": 8},
+		},
+		{
 			Name:  "edgerelax",
 			Shape: "edge relaxation over a rotation map; inspector waits cross blocks",
 			Source: `

@@ -29,6 +29,9 @@ func TestIrregularGoldenStaticCounts(t *testing.T) {
 		// through cl stay data-dependent — inspectors in the loop, one
 		// barrier where setup counters and init inspector flows mix.
 		"spmvcsr": {4, 1, 0, 2, 1, 4},
+		// meshsmooth: neighbor-table gather, range-only — inspectors in
+		// the loop, the guarded table build keeps a counter.
+		"meshsmooth": {4, 0, 1, 2, 1, 4},
 		// edgerelax: dst rotation map, range-only — inspectors in the
 		// loop, entry barrier for the mixed init flows.
 		"edgerelax": {4, 1, 0, 2, 1, 5},
@@ -148,7 +151,7 @@ func TestIrregularBarrierElimination(t *testing.T) {
 			if empty == 0 || waits != 0 {
 				t.Errorf("gatherscatter: want all-empty crossings, got empty=%d waits=%d", empty, waits)
 			}
-		case "edgerelax", "spmvcsr":
+		case "edgerelax", "spmvcsr", "meshsmooth":
 			if waits == 0 {
 				t.Errorf("%s: want conflicting crossings with p2p waits, got empty=%d waits=%d",
 					m.Kernel.Name, empty, waits)
@@ -169,6 +172,7 @@ func TestIrregularRemarkEvidence(t *testing.T) {
 		"permcopy":      {"content P(k) = k on [1, N]", "P strictly increasing", "P permutation of [1, N]"},
 		"gatherscatter": {"range g(k) in [1, N]"},
 		"spmvcsr":       {"content rp(k) = 2*k - 1 on [1, N + 1]", "rp strictly increasing", "range cl(k) in [1, N]"},
+		"meshsmooth":    {"range nb(k) in [1, N]"},
 		"edgerelax":     {"range dst(k) in [1, N]"},
 	}
 	for _, k := range IrregularKernels() {

@@ -1,0 +1,56 @@
+package syncopt
+
+import (
+	"repro/internal/ir"
+	"repro/internal/region"
+)
+
+// Clone deep-copies the schedule's region and boundary records so a
+// feedback pass can flip primitives without touching the original.
+// Statement groups and the underlying IR are shared: the certifier matches
+// regions by loop identity and groups by the shared statement slices, so a
+// clone (like a DropSite variant) can be re-checked against an Analysis
+// computed from the original.
+func (s *Schedule) Clone() *Schedule {
+	out := &Schedule{
+		Prog:    s.Prog,
+		Info:    s.Info,
+		Modes:   s.Modes,
+		Regions: make(map[*ir.Loop]*RegionSched, len(s.Regions)),
+	}
+	conv := func(rs *RegionSched) *RegionSched {
+		c := &RegionSched{Loop: rs.Loop, Groups: rs.Groups,
+			After: append([]Sync(nil), rs.After...)}
+		return c
+	}
+	if s.Top != nil {
+		out.Top = conv(s.Top)
+	}
+	for l, rs := range s.Regions {
+		out.Regions[l] = conv(rs)
+	}
+	return out
+}
+
+// Boundaries returns a pointer to every boundary record in global
+// sync-site order — index i is site i+1, the identical walk Remarks() and
+// the executor's site numbering use — so callers can inspect or (on a
+// Clone) rewrite primitives by site id.
+func (s *Schedule) Boundaries() []*Sync {
+	var out []*Sync
+	var walk func(rs *RegionSched)
+	walk = func(rs *RegionSched) {
+		for i := range rs.After {
+			out = append(out, &rs.After[i])
+		}
+		for _, g := range rs.Groups {
+			for _, st := range g.Stmts {
+				if s.Modes[st] == region.ModeSeqLoop {
+					walk(s.Regions[st.(*ir.Loop)])
+				}
+			}
+		}
+	}
+	walk(s.Top)
+	return out
+}

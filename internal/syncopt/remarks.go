@@ -49,6 +49,7 @@ func (s *Schedule) remarkAt(rs *RegionSched, i, site int) remarks.Remark {
 		Deps:      sy.Deps,
 		FM:        sy.FM,
 		Note:      sy.Note,
+		FDO:       sy.FDO,
 	}
 	r.Rejected = remarks.MergeRejected(sy.Deps, sy.Rejected, r.Primitive)
 

@@ -49,6 +49,11 @@ type Sync struct {
 	Note string
 	// FM aggregates the Fourier-Motzkin evidence across Deps.
 	FM remarks.FMVerdict
+	// FDO records the feedback-directed re-optimization of this boundary
+	// (nil on statically-built schedules); internal/fdo fills it when a
+	// measured profile justified flipping the primitive, and the remark
+	// layer surfaces it.
+	FDO *remarks.FDORemark
 }
 
 // covers reports whether this sync, sitting at one of the boundaries a

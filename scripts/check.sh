@@ -12,8 +12,10 @@
 # gate, 10-run baseline, chaos-stall regression watch), the profiling
 # overhead guard, the Table H profile-rollup smoke with its
 # BENCH_profile.json envelope validation, the irregular-suite gates
-# (value facts, chaos + sanitizer over inspector-synthesized waits), and
-# the Table I inspector/executor smoke refreshing BENCH_irreg.json.
+# (value facts, chaos + sanitizer over inspector-synthesized waits),
+# the Table I inspector/executor smoke refreshing BENCH_irreg.json, and
+# the feedback-loop gates (-profile-in round trip, barrierc -fdo remark
+# evidence, the Table F no-regression envelope smoke).
 # Run from anywhere; operates on the repository containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -142,7 +144,7 @@ go run ./cmd/barrierc -irreg -kernel permcopy | grep -q "permutation" || {
     echo "ERROR: barrierc -irreg lost the permutation fact on permcopy" >&2
     exit 1
 }
-for k in permcopy gatherscatter spmvcsr edgerelax; do
+for k in permcopy gatherscatter spmvcsr meshsmooth edgerelax; do
     echo "-- $k"
     out="$(go run ./cmd/spmdrun -kernel "$k" -p 4 \
         -watchdog 60s -chaos-seed 7 -sanitize)"
@@ -369,7 +371,7 @@ d = json.load(open(sys.argv[1]))
 assert d["schema_version"] == 1, d
 assert d["tool"] == "benchtab-irreg", d
 rows = {r["kernel"]: r for r in d["payload"]["rows"]}
-for k in ("permcopy", "gatherscatter", "spmvcsr", "edgerelax"):
+for k in ("permcopy", "gatherscatter", "spmvcsr", "meshsmooth", "edgerelax"):
     assert k in rows, f"{k} missing from BENCH_irreg.json"
     r = rows[k]
     assert r["reduction"] >= 0.5, f"{k}: reduction {r['reduction']:.3f} < 0.5 floor"
@@ -377,6 +379,60 @@ for k in ("permcopy", "gatherscatter", "spmvcsr", "edgerelax"):
 assert d["payload"]["mean_reduction"] >= 0.5, d["payload"]["mean_reduction"]
 print("-- BENCH_irreg.json valid; reductions:",
       ", ".join(f"{k}={rows[k]['reduction']:.0%}" for k in rows))
+EOF
+fi
+
+echo "== feedback loop gates (-profile-in, barrierc -fdo, Table F) =="
+# The profile-guided re-optimization tier: record a profile, feed it back
+# through barrierc (the remarks must carry fdo: evidence on every flipped
+# site) and spmdrun (the re-optimized run must apply certified flips, stay
+# certified and declare its forced tracing), then the Table F smoke must
+# emit a valid envelope with zero kernels regressed beyond their paired
+# noise bars.
+"$spmdrun_bin" -kernel meshsmooth -p 4 -profile-out "$prof_dir/fdo_prof.json" \
+    >/dev/null 2>/dev/null
+"$barrierc" -kernel meshsmooth -fdo "$prof_dir/fdo_prof.json" -remarks \
+    >"$prof_dir/fdo_remarks.txt"
+grep -q "fdo:" "$prof_dir/fdo_remarks.txt" || {
+    echo "ERROR: barrierc -fdo -remarks carries no fdo: evidence on meshsmooth" >&2
+    exit 1
+}
+"$spmdrun_bin" -kernel meshsmooth -p 4 -profile-in "$prof_dir/fdo_prof.json" \
+    -json >"$prof_dir/fdo_run.json" 2>/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$prof_dir/fdo_run.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["tool"] == "spmdrun", d
+p = d["payload"]
+assert p["certified"], "re-optimized run not certified"
+assert p["tracing_forced"], "-profile-in run must declare forced tracing"
+f = p.get("fdo") or {}
+assert f.get("flips", 0) > 0, "feedback pass applied no flips on meshsmooth"
+for dec in f.get("decisions", []):
+    if dec["action"] in ("weaken", "promote"):
+        assert dec["certified"], f"uncertified flip: {dec}"
+print(f"-- -profile-in applied {f['flips']} certified flip(s); run certified")
+EOF
+fi
+go run ./cmd/benchtab -table F -p 4 -kernels meshsmooth,spmvcsr -samples 10 \
+    -out "$prof_dir/tablef.json" | tail -n 3
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$prof_dir/tablef.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema_version"] == 1, d
+assert d["tool"] == "benchtab-fdo", d
+p = d["payload"]
+rows = {r["kernel"]: r for r in p["rows"]}
+for k in ("meshsmooth", "spmvcsr"):
+    assert k in rows, f"{k} missing from Table F output"
+    assert rows[k]["flips"] > 0, f"{k}: no flips applied"
+    assert not rows[k].get("regressed"), \
+        f"{k}: profile-guided schedule regressed beyond its noise bar: {rows[k]}"
+assert p["regressed"] == 0, p
+print("-- Table F envelope valid; saves:",
+      ", ".join(f"{k}={rows[k]['save_ns']}ns" for k in rows))
 EOF
 fi
 
