@@ -11,6 +11,7 @@
 //	benchtab -table H -out BENCH_profile.json # sync-wait profile rollup
 //	benchtab -table I -out BENCH_irreg.json   # irregular suite: inspector/executor
 //	benchtab -table F -out BENCH_fdo.json     # profile-guided vs static sync wait
+//	benchtab -table S -out BENCH_spans.json   # run-lifecycle span overhead
 //	benchtab -fig 1           # barrier latency vs processors
 //	benchtab -ablate repl     # Table 3 with replacement disabled (A2)
 //	benchtab -ablate merge    # Table 3 with merging disabled (A3)
@@ -31,14 +32,14 @@ import (
 
 func main() {
 	var (
-		table     = flag.String("table", "", "print only table N (1..4, W, T, P, R, F, H or I)")
+		table     = flag.String("table", "", "print only table N (1..4, W, T, P, R, F, H, I or S)")
 		fig       = flag.Int("fig", 0, "print only figure N (1, 3 or 4)")
 		workers   = flag.Int("p", 8, "worker count for dynamic measurements")
 		ablate    = flag.String("ablate", "", "ablation for table 3: repl or merge")
 		gantt     = flag.String("gantt", "", "render a simulated execution gantt for the named kernel (software-DSM costs)")
-		kernels   = flag.String("kernels", "", "comma-separated kernel subset for table T, F or H (default: all)")
-		outJSON   = flag.String("out", "", "with -table T, P, F, H or I: also write the report as a versioned JSON envelope to this file (BENCH_exec.json / BENCH_pool.json / BENCH_fdo.json / BENCH_profile.json / BENCH_irreg.json)")
-		samples   = flag.Int("samples", 0, "with -table P: pooled/cold cycles per worker count (default 300); with -table F or H: interleaved runs per kernel (default 10)")
+		kernels   = flag.String("kernels", "", "comma-separated kernel subset for table T, F, H or S (default: all; S defaults to a three-kernel spread)")
+		outJSON   = flag.String("out", "", "with -table T, P, F, H, I or S: also write the report as a versioned JSON envelope to this file (BENCH_exec.json / BENCH_pool.json / BENCH_fdo.json / BENCH_profile.json / BENCH_irreg.json / BENCH_spans.json)")
+		samples   = flag.Int("samples", 0, "with -table P: pooled/cold cycles per worker count (default 300); with -table F or H: interleaved runs per kernel (default 10); with -table S: off/on pairs per kernel (default 5)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "with -table P: also run the stall-injected retry/fallback leg seeded here (0 skips it)")
 	)
 	flag.Parse()
@@ -52,9 +53,9 @@ func main() {
 
 	tbl := strings.ToUpper(*table)
 	switch tbl {
-	case "", "1", "2", "3", "4", "W", "T", "P", "R", "F", "H", "I":
+	case "", "1", "2", "3", "4", "W", "T", "P", "R", "F", "H", "I", "S":
 	default:
-		fail(fmt.Errorf("unknown -table %q (want 1..4, W, T, P, R, F, H or I)", *table))
+		fail(fmt.Errorf("unknown -table %q (want 1..4, W, T, P, R, F, H, I or S)", *table))
 	}
 
 	opt := suite.MeasureOptions{Workers: *workers}
@@ -178,6 +179,32 @@ func main() {
 				fail(err)
 			}
 			if err := suite.WriteFDOBenchJSON(f, rep); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *outJSON)
+		}
+	}
+	if tbl == "S" {
+		// Table S is opt-in: each kernel runs 2×(pairs+1) full requests.
+		var names []string
+		if *kernels != "" {
+			names = strings.Split(*kernels, ",")
+		}
+		rep, err := suite.MeasureSpanBench(names, *workers, *samples)
+		if err != nil {
+			fail(err)
+		}
+		suite.TableS(os.Stdout, rep)
+		fmt.Println()
+		if *outJSON != "" {
+			f, err := os.Create(*outJSON)
+			if err != nil {
+				fail(err)
+			}
+			if err := suite.WriteSpanBenchJSON(f, rep); err != nil {
 				fail(err)
 			}
 			if err := f.Close(); err != nil {

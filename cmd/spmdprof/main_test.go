@@ -204,3 +204,30 @@ func TestIncompatibleInputs(t *testing.T) {
 		t.Fatalf("error does not name the field: %s", stderr.String())
 	}
 }
+
+// TestLedgerPrintsTraceID: `spmdprof ledger` surfaces the latest run's
+// trace id so it can be joined against -spans exports and /spans/<id>.
+func TestLedgerPrintsTraceID(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ledger.jsonl")
+	rec := &profile.LedgerRecord{
+		TimeUnixNS: 1,
+		TraceID:    "deadbeefcafef00d",
+		Result:     profile.RunMeta{Verdict: "PASS", WallNS: 2_000_000},
+		Profile:    mkProfile(t, 100*time.Microsecond),
+	}
+	if err := profile.AppendLedger(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"ledger", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "trace=deadbeefcafef00d") {
+		t.Fatalf("ledger summary missing trace id:\n%s", out)
+	}
+	if !strings.Contains(out, "verdict=PASS") {
+		t.Fatalf("ledger summary missing verdict:\n%s", out)
+	}
+}

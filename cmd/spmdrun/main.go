@@ -54,6 +54,7 @@ import (
 	"repro/internal/spmdrt"
 	"repro/internal/suite"
 	"repro/internal/synctrace"
+	"repro/internal/telemetry"
 )
 
 type paramList map[string]int64
@@ -76,12 +77,18 @@ func (p paramList) Set(s string) error {
 // runPayload is the -json result, wrapped in the spmdrun envelope. The
 // field set is deliberately flat and stable: scripts key on it.
 type runPayload struct {
-	Program   string  `json:"program"`
-	Mode      string  `json:"mode"`
-	Workers   int     `json:"workers"`
-	Barrier   string  `json:"barrier"`
-	Backend   string  `json:"backend"`
+	Program string `json:"program"`
+	// TraceID joins this envelope with the span export (-spans), the
+	// ledger record, and the debug server's /runs and /spans endpoints.
+	TraceID string `json:"trace_id,omitempty"`
+	Mode    string `json:"mode"`
+	Workers int    `json:"workers"`
+	Barrier string `json:"barrier"`
+	Backend string `json:"backend"`
+	// ElapsedNS is the execution leg; WallNS (spans enabled only) is the
+	// whole request, lint through verify — the root span's duration.
 	ElapsedNS int64   `json:"elapsed_ns"`
+	WallNS    int64   `json:"wall_ns,omitempty"`
 	Checksum  float64 `json:"checksum"`
 	Sync      struct {
 		Barriers      int64 `json:"barriers"`
@@ -153,7 +160,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		profileOut  = fs.String("profile-out", "", "write the run's durable sync profile as an envelope-wrapped JSON file (forces tracing; merge/diff with spmdprof)")
 		profileIn   = fs.String("profile-in", "", "feed a prior run's profile (from -profile-out) back through the feedback-directed optimizer; the run executes the re-optimized schedule")
 		ledgerPath  = fs.String("ledger", "", "append one envelope-wrapped record (profile + compile costs + result metadata) to this run-ledger file (forces tracing)")
-		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus text exposition on this address at /metrics (debug listener; expvar stays on /debug/vars)")
+		spansOut    = fs.String("spans", "", "record run-lifecycle spans (lint/compile/certify/pool lease/execute/...) and write them as an envelope-wrapped JSON file")
+		metricsAddr = fs.String("metrics-addr", "", "serve the debug endpoints on this address: /metrics (Prometheus text exposition), /healthz, /runs, /spans/<trace-id>, /debug/vars")
+		linger      = fs.Duration("metrics-linger", 0, "with -metrics-addr, keep the debug listener up this long after the run finishes (scrape window for one-shot invocations)")
 	)
 	fs.Var(params, "param", "program parameter NAME=VALUE (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -163,6 +172,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "spmdrun:", err)
 		return 1
 	}
+	startWall := time.Now()
 
 	// Ctrl-C / SIGTERM cancel the run context; the executor routes the
 	// cancellation through the team's failure latch so blocked workers
@@ -250,6 +260,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	req.Run.NoPool = !*poolOn
 	req.Run.Report = *report
 	req.Run.Profile = *profileOut != "" || *ledgerPath != "" || *metricsAddr != ""
+	req.Run.Spans = *spansOut != "" || *metricsAddr != ""
 	if *deadline > 0 || *retries > 0 || *seqFall {
 		// core stamps Certified from the memoized certify verdict, so
 		// hangs retry only on schedules proved deadlock-free.
@@ -262,8 +273,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-		defer srv.Close()
-		fmt.Fprintf(stderr, "metrics:  serving http://%s/metrics (Prometheus text exposition)\n", srv.Addr)
+		// Graceful teardown: a scrape racing process exit drains instead
+		// of getting its connection cut mid-response.
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx)
+		}()
+		fmt.Fprintf(stderr, "metrics:  serving http://%s/metrics (also /healthz, /runs, /spans/<trace-id>)\n", srv.Addr())
 	}
 
 	res, err := core.Do(ctx, req)
@@ -382,31 +399,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		clean := res.Sanitizer.Clean()
 		pay.SanitizerClean = &clean
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			return fail(err)
-		}
-		if err := res.Trace.WriteChromeTrace(f); err != nil {
-			return fail(err)
-		}
-		if err := f.Close(); err != nil {
-			return fail(err)
-		}
-		fmt.Fprintf(stderr, "trace:    %d events -> %s (load in ui.perfetto.dev)\n",
-			res.Trace.Recorded(), *traceOut)
-	}
 	if *traceSum {
 		fmt.Fprintln(stderr, synctrace.Summarize(res.Trace))
 	}
 
 	// Verify computes its verdict before the profile/ledger emission so a
 	// FAIL still lands in the ledger record; the failure exit follows.
+	// core.Do leaves the root span open so the verify leg counts toward
+	// the trace's wall time (tr is nil when spans are off).
+	tr := res.Telemetry
 	verdict := ""
 	var verifyErr error
 	if *verify {
+		verifySp := tr.Start(0, "verify")
 		ref, err := c.RunSequential(params)
 		if err != nil {
+			tr.Finish()
 			return fail(err)
 		}
 		d := exec.ComparableDiff(ref, res.State, c.Prog)
@@ -420,10 +428,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			verdict = "PASS"
 		}
+		tr.SetAttr(verifySp, "verdict", verdict)
+		tr.End(verifySp)
+	}
+	tr.Finish()
+	export := tr.Export()
+	pay.TraceID = res.TraceID
+	pay.WallNS = tr.WallNS()
+
+	// The Chrome trace is written after Finish so the lifecycle track
+	// (span layer interleaved with per-worker sync events) has no open
+	// spans with dangling durations.
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fail(err)
+		}
+		if tr != nil {
+			err = tr.WriteChromeTrace(f, res.Trace)
+		} else {
+			err = res.Trace.WriteChromeTrace(f)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "trace:    %d events -> %s (load in ui.perfetto.dev)\n",
+			res.Trace.Recorded(), *traceOut)
+	}
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			return fail(err)
+		}
+		if err := envelope.Write(f, envelope.ToolSpans, export); err != nil {
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "spans:    %d span(s), trace %s -> %s\n",
+			len(export.Spans), export.TraceID, *spansOut)
 	}
 	if res.Profile != nil {
 		prof := res.Profile
-		metrics.SetProfile(prof)
 		if *profileOut != "" {
 			if err := profile.WriteFile(*profileOut, prof); err != nil {
 				return fail(err)
@@ -438,6 +488,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stderr, "ledger:   1 record appended -> %s\n", *ledgerPath)
 		}
+	}
+	if *metricsAddr != "" {
+		// Feed the debug server's aggregator: counters, the group's
+		// latency/wait rollups, and the /runs + /spans ring.
+		sum := telemetry.RunSummary{
+			TraceID: res.TraceID, Program: c.Prog.Name, Mode: *mode,
+			Workers: *workers, Backend: be.String(), Barrier: bkName,
+			StartUnixNS: startWall.UnixNano(),
+			WallNS:      pay.WallNS, ElapsedNS: res.Elapsed.Nanoseconds(),
+			Outcome:  telemetry.OutcomeOK,
+			Attempts: res.Attempts, SeqFallback: res.SeqFallback, Pooled: res.Pooled,
+		}
+		if verifyErr != nil {
+			sum.Outcome = telemetry.OutcomeError
+			sum.Error = verifyErr.Error()
+		}
+		telemetry.Default().Observe(sum, res.Profile, export)
 	}
 	if verifyErr != nil {
 		return fail(verifyErr)
@@ -454,6 +521,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if res.Sanitizer != nil && !res.Sanitizer.Clean() {
 		return fail(fmt.Errorf("sanitizer found unordered cross-worker flows"))
+	}
+	// The linger comes last so every artifact (envelope included) is
+	// already flushed while the debug listener stays up for scrapes.
+	if *metricsAddr != "" && *linger > 0 {
+		fmt.Fprintf(stderr, "metrics:  lingering %s for scrapes\n", *linger)
+		select {
+		case <-ctx.Done():
+		case <-time.After(*linger):
+		}
 	}
 	return 0
 }

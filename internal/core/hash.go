@@ -81,6 +81,7 @@ func (r *Runner) LedgerRecord(res *Result, verdict string, now time.Time) *profi
 		Profile:    r.Profile(res),
 	}
 	if res != nil {
+		rec.TraceID = res.TraceID
 		costs := res.Costs
 		rec.Costs = &costs
 		rec.Result = profile.RunMeta{

@@ -14,9 +14,11 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/exec"
 	"repro/internal/fdo"
+	"repro/internal/lint"
 	"repro/internal/profile"
 	"repro/internal/spmdrt"
 	"repro/internal/syncopt"
+	"repro/internal/telemetry"
 )
 
 // CompileOptions are a Request's compile-time choices.
@@ -84,6 +86,11 @@ type RunOptions struct {
 	Det bool
 	// NoPool cold-spawns the worker team instead of using the pool.
 	NoPool bool
+	// Spans collects run-lifecycle spans — one per phase (lint, compile,
+	// FDO, certify, execute with the executor's lease/attempt children,
+	// profile, report) — into Result.Telemetry. Result.TraceID is stamped
+	// whether or not spans are collected.
+	Spans bool
 }
 
 // Request is one complete compile-and-run description.
@@ -149,6 +156,9 @@ func WithProfile() RequestOption { return func(r *Request) { r.Run.Profile = tru
 // WithReport builds the static×runtime sync report (forces tracing).
 func WithReport() RequestOption { return func(r *Request) { r.Run.Report = true } }
 
+// WithSpans collects run-lifecycle spans into Result.Telemetry.
+func WithSpans() RequestOption { return func(r *Request) { r.Run.Spans = true } }
+
 // CertifyError reports that Compile.Certify was set and the schedule the
 // run would execute failed certification.
 type CertifyError struct {
@@ -169,24 +179,68 @@ func (e *CertifyError) Error() string {
 // always, plus Profile/Report/FDO/TracingForced — and Result.Runner for
 // callers that need further runs or the ledger assembly.
 func Do(ctx context.Context, req Request) (*Result, error) {
+	// The lifecycle trace: one span per phase, all children of the root
+	// "run" span. tr stays nil unless Run.Spans — every telemetry method
+	// is nil-safe, so the disabled path costs one pointer check per phase.
+	var tr *telemetry.Trace
+	if req.Run.Spans {
+		tr = telemetry.NewTrace()
+	}
+
+	if req.Compile.Lint {
+		sp := tr.Start(0, "lint")
+		diags := lint.Source(req.Source)
+		tr.End(sp)
+		if lint.HasFindings(diags) {
+			tr.Finish()
+			return nil, &LintError{Diags: diags}
+		}
+	}
+
+	compileStart := time.Now()
+	compileSp := tr.Start(0, "compile")
 	c, err := Compile(req.Source, Options{
 		Decomp:   req.Compile.Decomp,
 		Sync:     req.Compile.Sync,
 		MinParam: req.Compile.MinParam,
-		Lint:     req.Compile.Lint,
 	})
+	tr.End(compileSp)
 	if err != nil {
+		tr.Finish()
 		return nil, err
+	}
+	if tr != nil {
+		tr.SetProgram(c.Prog.Name)
+		// Compile sub-phases re-tile the compile span from the phase
+		// clock's own measurements; solver totals ride as attributes.
+		off := compileStart
+		for _, ph := range c.Costs.Phases {
+			id := tr.Add(compileSp, ph.Name, off, ph.Wall)
+			if ph.FMSystems > 0 {
+				tr.SetAttr(id, "fm_systems", fmt.Sprint(ph.FMSystems))
+			}
+			off = off.Add(ph.Wall)
+		}
+		tr.SetAttr(compileSp, "fm_systems", fmt.Sprint(c.Costs.FMSystems))
+		tr.SetAttr(compileSp, "vars_eliminated", fmt.Sprint(c.Costs.VarsEliminated))
+		tr.SetAttr(compileSp, "ineqs_generated", fmt.Sprint(c.Costs.IneqsGenerated))
 	}
 
 	var fres *fdo.Result
 	if req.Compile.FDOProfile != nil {
 		if req.Run.Baseline {
+			tr.Finish()
 			return nil, fmt.Errorf("core: feedback re-optimization applies to the optimized schedule, not the fork-join baseline")
 		}
+		sp := tr.Start(0, "fdo")
 		c, fres, err = c.Reoptimize(req.Compile.FDOProfile, req.Compile.FDO)
+		tr.End(sp)
 		if err != nil {
+			tr.Finish()
 			return nil, err
+		}
+		if tr != nil && fres != nil {
+			tr.SetAttr(sp, "barrier_algo", fres.BarrierAlgo)
 		}
 	}
 
@@ -211,6 +265,9 @@ func Do(ctx context.Context, req Request) (*Result, error) {
 			barrier = spmdrt.Central
 		}
 	}
+	// The execute span opens before runner construction so the executor's
+	// attempt spans know their parent at Config-assembly time.
+	execSp := tr.Start(0, "execute")
 	cfg := exec.Config{
 		Workers:                 workers,
 		Barrier:                 barrier,
@@ -226,8 +283,13 @@ func Do(ctx context.Context, req Request) (*Result, error) {
 		TraceBufCap:             req.Run.TraceBufCap,
 		NoPool:                  req.Run.NoPool,
 		Policy:                  req.Run.Policy,
+		Spans:                   tr,
+		SpansParent:             execSp,
 	}
 
+	// Runner construction covers the memoized closure lowering and, with a
+	// retry policy, the certifier run that stamps Policy.Certified.
+	setupSp := tr.Start(execSp, "setup")
 	var runner *Runner
 	if req.Run.Baseline {
 		runner, err = c.NewBaselineRunner(cfg)
@@ -235,32 +297,61 @@ func Do(ctx context.Context, req Request) (*Result, error) {
 		cfg.Mode = exec.SPMD
 		runner, err = c.NewRunner(cfg)
 	}
+	tr.End(setupSp)
 	if err != nil {
+		tr.End(execSp)
+		tr.Finish()
 		return nil, err
 	}
 
 	if req.Compile.Certify {
+		sp := tr.Start(execSp, "certify")
 		v := c.Verdict()
 		if req.Run.Baseline {
 			v = c.BaselineVerdict()
 		}
+		tr.End(sp)
+		if tr != nil {
+			tr.SetAttr(sp, "certified", fmt.Sprint(v.Certified))
+		}
 		if !v.Certified {
+			tr.End(execSp)
+			tr.Finish()
 			return nil, &CertifyError{Verdict: v}
 		}
 	}
 
 	res, err := runner.RunContext(ctx)
+	tr.End(execSp)
 	if err != nil {
+		tr.Finish()
 		return nil, err
+	}
+	if tr != nil {
+		// exec.Result outcome fields ride on the execute span.
+		tr.SetAttr(execSp, "elapsed_ns", fmt.Sprint(res.Elapsed.Nanoseconds()))
+		tr.SetAttr(execSp, "attempts", fmt.Sprint(res.Attempts))
+		tr.SetAttr(execSp, "pooled", fmt.Sprint(res.Pooled))
+		tr.SetAttr(execSp, "seq_fallback", fmt.Sprint(res.SeqFallback))
+		tr.SetAttr(execSp, "workers", fmt.Sprint(workers))
 	}
 	res.Runner = runner
 	res.FDO = fres
 	res.TracingForced = tracingForced
+	res.Telemetry = tr
+	res.TraceID = tr.ID()
+	if res.TraceID == "" {
+		res.TraceID = telemetry.NewTraceID()
+	}
 	if req.Run.Profile {
+		sp := tr.Start(0, "profile")
 		res.Profile = runner.Profile(res)
+		tr.End(sp)
 	}
 	if req.Run.Report {
+		sp := tr.Start(0, "report")
 		res.Report = runner.SyncReport(res)
+		tr.End(sp)
 	}
 	return res, nil
 }

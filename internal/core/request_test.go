@@ -197,6 +197,7 @@ var coreAPI = []string{
 	"WithPolicy",
 	"WithProfile",
 	"WithReport",
+	"WithSpans",
 	"WithTrace",
 	"WithWorkers",
 	"Exe (Compiled)",

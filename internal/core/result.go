@@ -9,6 +9,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/profile"
 	"repro/internal/remarks"
+	"repro/internal/telemetry"
 )
 
 // Verdict is the static certifier's judgment of one schedule, attached to
@@ -82,6 +83,15 @@ type Result struct {
 	Profile *profile.Profile
 	// Report is the static×runtime sync report (Run.Report set).
 	Report *remarks.Report
+	// TraceID is the run's cross-artifact join key: the same id lands in
+	// the spmdrun envelope, the ledger record, the spans export, and the
+	// debug server's /runs ring. Do always stamps one, even when span
+	// collection is off.
+	TraceID string
+	// Telemetry is the run-lifecycle span trace (Run.Spans set; nil
+	// otherwise). Do returns it with the root span still open so the
+	// caller can append its own phases; call Finish before exporting.
+	Telemetry *telemetry.Trace
 }
 
 // Runner executes one compiled schedule. It embeds the executor's runner —

@@ -45,6 +45,12 @@ const (
 	// ToolFDOBench wraps the Table F static-vs-profile-guided report
 	// (BENCH_fdo.json).
 	ToolFDOBench = "benchtab-fdo"
+	// ToolSpans wraps a run-lifecycle span export (spmdrun -spans and the
+	// debug server's /spans/<trace-id>).
+	ToolSpans = "spmdrun-spans"
+	// ToolSpanBench wraps the Table S span-overhead report
+	// (BENCH_spans.json).
+	ToolSpanBench = "benchtab-spans"
 )
 
 // Envelope is the wrapper around one tool artifact.

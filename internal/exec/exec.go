@@ -19,6 +19,7 @@ import (
 	"repro/internal/spmdrt"
 	"repro/internal/syncopt"
 	"repro/internal/synctrace"
+	"repro/internal/telemetry"
 )
 
 // Mode selects the execution model.
@@ -161,6 +162,14 @@ type Config struct {
 	// sleeps this long — long enough to trip a short watchdog, which is
 	// the trigger RunPolicy retries recover from.
 	ChaosStall time.Duration
+	// Spans, when non-nil, receives run-lifecycle spans from the executor
+	// — per-attempt execution, pool lease / team spawn, inspector scans,
+	// sequential fallback — as children of SpansParent (the caller's
+	// "execute" span; 0 hangs them off the trace root). Nil disables span
+	// collection: every recording site is a single nil check.
+	Spans *telemetry.Trace
+	// SpansParent is the parent span for the spans the executor records.
+	SpansParent telemetry.SpanID
 }
 
 // Result carries the final state and the dynamic synchronization counts.
@@ -371,6 +380,14 @@ func (r *Runner) runAttempt(ctx context.Context, st *interp.State, attempt int) 
 	if err := ctx.Err(); err != nil {
 		return nil, &spmdrt.CancelError{Cause: err}
 	}
+	// One "attempt" span per team execution: retries show up as siblings
+	// under the caller's execute span, each carrying its own outcome.
+	spans := r.cfg.Spans
+	attemptSp := spans.Start(r.cfg.SpansParent, "attempt")
+	if spans != nil {
+		spans.SetAttr(attemptSp, "attempt", strconv.Itoa(attempt))
+	}
+	defer spans.End(attemptSp)
 	ps := newPState(st)
 	var (
 		team  *spmdrt.Team
@@ -382,14 +399,22 @@ func (r *Runner) runAttempt(ctx context.Context, st *interp.State, attempt int) 
 		relErr error
 	)
 	if r.cfg.NoPool {
+		spawnSp := spans.Start(attemptSp, "team spawn")
 		team = spmdrt.NewTeam(r.cfg.Workers, r.cfg.Barrier)
+		spans.End(spawnSp)
 	} else {
 		tp := r.cfg.Pool
 		if tp == nil {
 			tp = DefaultPool()
 		}
+		leaseSp := spans.Start(attemptSp, "pool lease")
 		l, err := tp.Checkout(r.cfg.Workers, r.cfg.Barrier)
+		spans.End(leaseSp)
 		if err != nil {
+			if spans != nil {
+				spans.SetAttr(attemptSp, "outcome", telemetry.OutcomeError)
+				spans.SetAttr(attemptSp, "error", err.Error())
+			}
 			return nil, err
 		}
 		lease = l
@@ -570,6 +595,7 @@ func (r *Runner) runAttempt(ctx context.Context, st *interp.State, attempt int) 
 		ws.execRegion(r.sched.Top)
 		run.errs[w] = ws.err
 	}
+	runSp := spans.Start(attemptSp, "team run")
 	start := time.Now()
 	var runErr error
 	if lease != nil {
@@ -578,17 +604,30 @@ func (r *Runner) runAttempt(ctx context.Context, st *interp.State, attempt int) 
 		runErr = team.Run(body)
 	}
 	elapsed := time.Since(start)
+	spans.End(runSp)
 	gen := team.Generation()
+	if spans != nil {
+		spans.SetAttr(attemptSp, "pooled", strconv.FormatBool(lease != nil))
+		spans.SetAttr(attemptSp, "team_generation", strconv.FormatInt(gen, 10))
+	}
 	if runErr != nil {
 		// A watchdog deadlock report, a recovered worker panic or a
 		// cancellation: the run was aborted, shared state is not
 		// meaningful, and the team's failure latch is tripped for good —
 		// quarantine it.
 		relErr = runErr
+		if spans != nil {
+			spans.SetAttr(attemptSp, "outcome", telemetry.OutcomeError)
+			spans.SetAttr(attemptSp, "error", runErr.Error())
+		}
 		return nil, runErr
 	}
 	for _, e := range run.errs {
 		if e != nil {
+			if spans != nil {
+				spans.SetAttr(attemptSp, "outcome", telemetry.OutcomeError)
+				spans.SetAttr(attemptSp, "error", e.Error())
+			}
 			return nil, e
 		}
 	}
@@ -606,11 +645,27 @@ func (r *Runner) runAttempt(ctx context.Context, st *interp.State, attempt int) 
 		Trace: run.rec, Pooled: lease != nil, Generation: gen, Attempts: attempt}
 	if run.insp != nil {
 		res.Inspector = map[int]InspectorSite{}
+		var scanNS, scans int64
 		for id, is := range run.insp {
 			if is != nil {
-				res.Inspector[id+1] = is.stats
+				stats := is.stats
+				stats.ScanNS = is.scanNS
+				res.Inspector[id+1] = stats
+				scanNS += stats.ScanNS
+				scans += stats.Scans
 			}
 		}
+		if spans != nil && scans > 0 {
+			// Scans run inside the team-run interval; the span records their
+			// aggregate wall cost (worker 0's measurement), anchored at the
+			// team run's start.
+			sp := spans.Add(attemptSp, "inspector scans", start, time.Duration(scanNS))
+			spans.SetAttr(sp, "scans", strconv.FormatInt(scans, 10))
+		}
+	}
+	if spans != nil {
+		spans.SetAttr(attemptSp, "outcome", telemetry.OutcomeOK)
+		spans.SetAttr(attemptSp, "elapsed_ns", strconv.FormatInt(elapsed.Nanoseconds(), 10))
 	}
 	if run.san != nil {
 		res.Sanitizer = run.san.tr.Report()

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/decomp"
@@ -49,6 +50,11 @@ type InspectorSite struct {
 	WaitCrossings int64 `json:"wait_crossings"`
 	// Conservative counts scans that fell back to the all-pairs wait set.
 	Conservative int64 `json:"conservative,omitempty"`
+	// ScanNS is the aggregate wall time worker 0 spent scanning at this
+	// site (the once-per-run scan for cacheable sites, whichever worker
+	// ran it). Every worker scans in the non-cacheable case; one worker's
+	// cost stands in for the replicated work.
+	ScanNS int64 `json:"scan_ns,omitempty"`
 }
 
 // inspState is the per-run state of one inspector site.
@@ -62,6 +68,11 @@ type inspState struct {
 	cached    *scanOutcome
 	// stats is written by worker 0 only and read after the team joins.
 	stats InspectorSite
+	// scanNS accumulates measured scan wall time: worker 0's own scans
+	// (non-cacheable), or the single once.Do scan (cacheable — written by
+	// whichever worker ran it, exclusively, inside the Once). Read after
+	// the team joins.
+	scanNS int64
 }
 
 // scanOutcome is one scan's verdict: for each worker, the sorted source
@@ -125,8 +136,16 @@ func (ws *workerState) applyInspector(site int) {
 	c := ws.cross[site]
 	var out *scanOutcome
 	if st.cacheable {
-		st.once.Do(func() { st.cached = ws.scan(st.pairs) })
+		st.once.Do(func() {
+			t0 := time.Now()
+			st.cached = ws.scan(st.pairs)
+			st.scanNS = time.Since(t0).Nanoseconds()
+		})
 		out = st.cached
+	} else if ws.w == 0 {
+		t0 := time.Now()
+		out = ws.scan(st.pairs)
+		st.scanNS += time.Since(t0).Nanoseconds()
 	} else {
 		// Every worker runs the same deterministic scan over the same
 		// frozen data and live (replicated) index values.

@@ -126,7 +126,9 @@ func (r *Runner) runWithPolicy(ctx context.Context, st *interp.State) (*Result, 
 	}
 	if p.SequentialFallback {
 		restoreState(st, pristine)
+		sp := r.cfg.Spans.Start(r.cfg.SpansParent, "sequential fallback")
 		res, err := r.runSequential(ctx, st)
+		r.cfg.Spans.End(sp)
 		if err != nil {
 			return nil, fmt.Errorf("exec: sequential fallback failed: %w (after %d attempts, last: %v)",
 				err, attempts, lastErr)

@@ -348,7 +348,10 @@ func TestTracingOverheadGuard(t *testing.T) {
 		return
 	}
 	if float64(off) > float64(base)*(1+offTol) {
-		t.Errorf("tracing-off run %s regressed >%.0f%% vs recorded baseline %s",
+		t.Errorf("tracing-off run %s regressed >%.0f%% vs recorded baseline %s\n"+
+			"The baseline is machine-local and can go stale (background load when it was\n"+
+			"recorded, CPU frequency drift). If the working tree is clean, refresh it:\n"+
+			"    rm scripts/.overhead_baseline && OVERHEAD_GUARD=1 go test ./internal/exec -run TestTracingOverheadGuard",
 			off, 100*offTol, time.Duration(base))
 	}
 }

@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net/http"
@@ -9,10 +11,12 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 )
 
 // parseExposition is a strict parser for the Prometheus text exposition
@@ -126,9 +130,21 @@ func testProfile() *profile.Profile {
 	return p
 }
 
+// siteKey assembles the full label set a per-site sample carries now that
+// site families are grouped by kernel identity.
+func siteKey(p *profile.Profile, family string, site int, kind, extra string) string {
+	l := fmt.Sprintf(`group="%s",program="%s",mode="%s",p="%d",site="%d",kind="%s"`,
+		groupTag(p.GroupKey()), p.Program, p.Mode, p.Workers, site, kind)
+	if extra != "" {
+		l += "," + extra
+	}
+	return family + "{" + l + "}"
+}
+
 // TestHandlerServesValidExposition is the acceptance test: the endpoint
-// must serve text exposition that a strict parser accepts, carrying both
-// the expvar gauges and the per-site profile summaries.
+// must serve text exposition that a strict parser accepts, carrying the
+// expvar gauges, the process run counters, and the per-site aggregated
+// summaries.
 func TestHandlerServesValidExposition(t *testing.T) {
 	expvar.Publish("metrics_test_gauge", expvar.Func(func() any {
 		return map[string]any{"alpha": 3, "beta_ns": 4500}
@@ -137,10 +153,11 @@ func TestHandlerServesValidExposition(t *testing.T) {
 	expvarGauges = append([]string{"metrics_test_gauge"}, old...)
 	defer func() { expvarGauges = old }()
 
-	SetProfile(testProfile())
-	defer SetProfile(nil)
+	p := testProfile()
+	ag := telemetry.New(8)
+	ag.ObserveProfile(p)
 
-	srv := httptest.NewServer(Handler())
+	srv := httptest.NewServer(HandlerFor(ag))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
@@ -150,29 +167,29 @@ func TestHandlerServesValidExposition(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
 		t.Fatalf("content type %q lacks exposition version", ct)
 	}
-	var sb strings.Builder
-	if _, err := fmt.Fprint(&sb, readAll(t, resp)); err != nil {
-		t.Fatal(err)
-	}
-	samples := parseExposition(t, sb.String())
+	samples := parseExposition(t, readAll(t, resp))
 
+	gl := fmt.Sprintf(`group="%s",program="jacobi2d",mode="opt",p="4"`, groupTag(p.GroupKey()))
 	for key, want := range map[string]float64{
-		"spmd_metrics_test_gauge_alpha":                             3,
-		"spmd_metrics_test_gauge_beta_ns":                           4500,
-		`spmd_site_sync_ops{site="1",kind="barrier"}`:               10,
-		`spmd_site_sync_ops{site="4",kind="counter"}`:               4,
-		`spmd_site_barrier_episodes{site="1",kind="barrier"}`:       5,
-		`spmd_site_barrier_slack_ns_total{site="1",kind="barrier"}`: 200,
-		"spmd_profile_runs":                                         2,
+		"spmd_metrics_test_gauge_alpha":                                  3,
+		"spmd_metrics_test_gauge_beta_ns":                                4500,
+		"spmd_runs_total":                                                1,
+		"spmd_run_errors_total":                                          0,
+		siteKey(p, "spmd_site_sync_ops", 1, "barrier", ""):               10,
+		siteKey(p, "spmd_site_sync_ops", 4, "counter", ""):               4,
+		siteKey(p, "spmd_site_barrier_episodes", 1, "barrier", ""):       5,
+		siteKey(p, "spmd_site_barrier_slack_ns_total", 1, "barrier", ""): 200,
+		"spmd_group_runs{" + gl + "}":                                    1,
+		"spmd_profile_runs{" + gl + "}":                                  2,
 	} {
 		if got, ok := samples[key]; !ok || got != want {
 			t.Errorf("%s = %v (present=%v), want %v", key, got, ok, want)
 		}
 	}
-	if _, ok := samples[`spmd_site_wait_ns{site="1",kind="barrier",quantile="0.99"}`]; !ok {
+	if _, ok := samples[siteKey(p, "spmd_site_wait_ns", 1, "barrier", `quantile="0.99"`)]; !ok {
 		t.Error("missing p99 wait quantile sample")
 	}
-	if _, ok := samples[`spmd_site_barrier_episodes{site="4",kind="counter"}`]; ok {
+	if _, ok := samples[siteKey(p, "spmd_site_barrier_episodes", 4, "counter", "")]; ok {
 		t.Error("counter site must not report barrier episodes")
 	}
 }
@@ -180,32 +197,272 @@ func TestHandlerServesValidExposition(t *testing.T) {
 // TestWritePromDeterministic: two scrapes of identical state are
 // byte-identical (the no-map-order guarantee).
 func TestWritePromDeterministic(t *testing.T) {
-	SetProfile(testProfile())
-	defer SetProfile(nil)
+	ag := telemetry.New(8)
+	ag.ObserveProfile(testProfile())
+	other := testProfile()
+	other.Program = "stencil9"
+	ag.ObserveProfile(other)
 	var a, b strings.Builder
-	WriteProm(&a)
-	WriteProm(&b)
+	WritePromFor(&a, ag)
+	WritePromFor(&b, ag)
 	if a.String() != b.String() {
 		t.Fatalf("scrapes differ:\n%s\nvs\n%s", a.String(), b.String())
 	}
 }
 
-// TestWritePromEmptyProfile: no installed profile still yields a valid
-// (possibly expvar-only) exposition.
-func TestWritePromEmptyProfile(t *testing.T) {
-	SetProfile(nil)
+// TestWritePromEmptyAggregator: an aggregator with no observed runs still
+// yields a valid (counters + expvar only) exposition.
+func TestWritePromEmptyAggregator(t *testing.T) {
 	var sb strings.Builder
-	WriteProm(&sb)
+	WritePromFor(&sb, telemetry.New(8))
 	parseExposition(t, sb.String())
 	if strings.Contains(sb.String(), "spmd_site_") {
-		t.Fatal("site families emitted with no profile installed")
+		t.Fatal("site families emitted with no profile observed")
 	}
+}
+
+// TestSetProfileAggregatesAcrossRuns is the regression test for the old
+// last-writer-wins bug: two pooled runs handing over profiles one after
+// the other must BOTH be visible in the next scrape (summed ops), not
+// just the second one.
+func TestSetProfileAggregatesAcrossRuns(t *testing.T) {
+	ag := telemetry.New(8)
+	p1, p2 := testProfile(), testProfile()
+	ag.ObserveProfile(p1)
+	ag.ObserveProfile(p2)
+	var sb strings.Builder
+	WritePromFor(&sb, ag)
+	samples := parseExposition(t, sb.String())
+	// 40 ops over 4 merged runs: the per-run value survives, but the
+	// rollup now carries both runs (profile_runs = 4, not 2).
+	gl := fmt.Sprintf(`group="%s",program="jacobi2d",mode="opt",p="4"`, groupTag(p1.GroupKey()))
+	if got := samples["spmd_profile_runs{"+gl+"}"]; got != 4 {
+		t.Fatalf("profile_runs = %v, want 4 (both runs aggregated)", got)
+	}
+	if got := samples[siteKey(p1, "spmd_site_sync_ops", 1, "barrier", "")]; got != 10 {
+		t.Fatalf("per-run sync ops = %v, want 10", got)
+	}
+}
+
+// TestConcurrentObserveAndScrape drives observers and scrapers in
+// parallel; run under -race this proves the aggregator path has no data
+// race (the old atomic-pointer SetProfile raced semantically: each writer
+// silently discarded the others' runs).
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	ag := telemetry.New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				ag.ObserveProfile(testProfile())
+			}
+		}()
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				var sb strings.Builder
+				WritePromFor(&sb, ag)
+			}
+		}()
+	}
+	wg.Wait()
+	var sb strings.Builder
+	WritePromFor(&sb, ag)
+	samples := parseExposition(t, sb.String())
+	if got := samples["spmd_runs_total"]; got != 100 {
+		t.Fatalf("runs_total = %v, want 100 (no observation lost)", got)
+	}
+	p := testProfile()
+	gl := fmt.Sprintf(`group="%s",program="jacobi2d",mode="opt",p="4"`, groupTag(p.GroupKey()))
+	if got := samples["spmd_profile_runs{"+gl+"}"]; got != 200 {
+		t.Fatalf("profile_runs = %v, want 200 (100 profiles x Runs=2)", got)
+	}
+}
+
+// TestAggregatedQuantilesMatchMerge pins the acceptance contract: the
+// aggregator's per-group rollup over N observed profiles is the same
+// merge `spmdprof merge` computes over the N profile files, so the
+// /metrics wait quantiles equal the offline-merged ones exactly.
+func TestAggregatedQuantilesMatchMerge(t *testing.T) {
+	ag := telemetry.New(16)
+	var all []*profile.Profile
+	for i := 0; i < 10; i++ {
+		p := testProfile()
+		// Vary the wait distribution per run so the equality is not
+		// trivially about identical inputs.
+		for j := 0; j <= i; j++ {
+			p.Sites[0].Wait.Add(time.Duration(100 * (i + j + 1)))
+		}
+		all = append(all, p)
+		ag.ObserveProfile(p)
+	}
+	want, err := profile.Merge(all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ag.Snapshot()
+	var got *profile.Profile
+	for i := range snap.Groups {
+		if snap.Groups[i].Program == "jacobi2d" {
+			got = snap.Groups[i].Profile
+		}
+	}
+	if got == nil {
+		t.Fatal("no rollup profile for jacobi2d group")
+	}
+	if got.Runs != want.Runs {
+		t.Fatalf("rollup runs = %d, want %d", got.Runs, want.Runs)
+	}
+	for i := range want.Sites {
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			if g, w := got.Sites[i].Wait.Quantile(q), want.Sites[i].Wait.Quantile(q); g != w {
+				t.Fatalf("site %d q%v: aggregator %d != merge %d",
+					want.Sites[i].Site, q, g, w)
+			}
+		}
+		if got.Sites[i].Ops != want.Sites[i].Ops {
+			t.Fatalf("site %d ops: aggregator %d != merge %d",
+				want.Sites[i].Site, got.Sites[i].Ops, want.Sites[i].Ops)
+		}
+	}
+}
+
+// TestHealthEndpoint: a healthy aggregator answers 200 with "ok"; an
+// aggregator whose most recent run failed answers 503 "degraded".
+func TestHealthEndpoint(t *testing.T) {
+	ag := telemetry.New(8)
+	ag.Observe(telemetry.RunSummary{Program: "jacobi2d", Outcome: telemetry.OutcomeOK}, nil, nil)
+	srv := httptest.NewServer(DebugMux(ag))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthy: status=%d %q, want 200 ok", resp.StatusCode, h.Status)
+	}
+	if h.Runs != 1 {
+		t.Fatalf("healthz runs = %d, want 1", h.Runs)
+	}
+
+	ag.Observe(telemetry.RunSummary{Program: "jacobi2d", Outcome: telemetry.OutcomeError, Error: "boom"}, nil, nil)
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != "degraded" {
+		t.Fatalf("after failure: status=%d %q, want 503 degraded", resp.StatusCode, h.Status)
+	}
+}
+
+// TestRunsAndSpansEndpoints: /runs returns the ring newest first and
+// honors ?n=; /spans/<id> round-trips the envelope-wrapped export and
+// 404s on unknown ids.
+func TestRunsAndSpansEndpoints(t *testing.T) {
+	ag := telemetry.New(8)
+	tr := telemetry.NewTrace()
+	tr.SetProgram("jacobi2d")
+	sp := tr.Start(tr.Root(), "execute")
+	tr.End(sp)
+	tr.Finish()
+	exp := tr.Export()
+	ag.Observe(telemetry.RunSummary{TraceID: tr.ID(), Program: "jacobi2d", Outcome: telemetry.OutcomeOK}, nil, exp)
+	ag.Observe(telemetry.RunSummary{TraceID: "ffffffffffffffff", Program: "stencil9", Outcome: telemetry.OutcomeOK}, nil, nil)
+
+	srv := httptest.NewServer(DebugMux(ag))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/runs?n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []telemetry.RunSummary
+	if err := json.NewDecoder(resp.Body).Decode(&runs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(runs) != 1 || runs[0].Program != "stencil9" {
+		t.Fatalf("/runs?n=1 = %+v, want newest run (stencil9)", runs)
+	}
+
+	resp, err = http.Get(srv.URL + "/spans/" + tr.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/spans/%s = %d: %s", tr.ID(), resp.StatusCode, body)
+	}
+	if !strings.Contains(body, `"spmdrun-spans"`) || !strings.Contains(body, tr.ID()) {
+		t.Fatalf("span payload missing envelope tool or trace id: %s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/spans/deadbeefdeadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace id = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerGracefulShutdown: Shutdown drains an in-flight scrape instead
+// of cutting the connection (the -metrics-addr listener must not drop a
+// scrape that raced the process exiting).
+func TestServerGracefulShutdown(t *testing.T) {
+	ag := telemetry.New(8)
+	ag.ObserveProfile(testProfile())
+	s, err := ServeAggregator("127.0.0.1:0", ag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Begin Shutdown while the response body is still unread: the drain
+	// must let this scrape finish.
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(testContext(t)) }()
+	body := readAll(t, resp)
+	parseExposition(t, body)
+	if err := <-done; err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+}
+
+func testContext(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
 }
 
 func readAll(t *testing.T, resp *http.Response) string {
 	t.Helper()
 	var sb strings.Builder
 	sc := bufio.NewScanner(resp.Body)
+	buf := make([]byte, 0, 1<<20)
+	sc.Buffer(buf, 1<<20)
 	for sc.Scan() {
 		sb.WriteString(sc.Text())
 		sb.WriteByte('\n')
@@ -213,5 +470,6 @@ func readAll(t *testing.T, resp *http.Response) string {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
+	resp.Body.Close()
 	return sb.String()
 }

@@ -84,10 +84,13 @@ type RunMeta struct {
 // profile, the compile's analysis bill, and the result metadata.
 type LedgerRecord struct {
 	// TimeUnixNS stamps when the run finished.
-	TimeUnixNS int64          `json:"time_unix_ns"`
-	Result     RunMeta        `json:"result"`
-	Costs      *remarks.Costs `json:"costs,omitempty"`
-	Profile    *Profile       `json:"profile"`
+	TimeUnixNS int64 `json:"time_unix_ns"`
+	// TraceID joins this row with the run's span export and envelope
+	// (the id `spmdrun -json` reports; "" for pre-span ledgers).
+	TraceID string         `json:"trace_id,omitempty"`
+	Result  RunMeta        `json:"result"`
+	Costs   *remarks.Costs `json:"costs,omitempty"`
+	Profile *Profile       `json:"profile"`
 }
 
 // AppendLedger appends one envelope-wrapped record line to the ledger at

@@ -30,9 +30,34 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// ExtraSpan is an externally-timed interval merged into the Chrome
+// export on its own track — the run-lifecycle spans of internal/telemetry
+// ride here so one Perfetto load shows compile/lease/execute phases above
+// the per-worker sync events. StartNS is relative to the recorder's
+// Epoch (negative values — spans that began before tracing — are
+// clamped to 0 by the exporter).
+type ExtraSpan struct {
+	Name    string
+	Cat     string
+	StartNS int64
+	DurNS   int64
+	Args    map[string]any
+}
+
+// lifecycleTrack returns the tid of the extra-span track: one past the
+// last worker, so it sorts below the workers in Perfetto.
+func (r *Recorder) lifecycleTrack() int { return r.Workers() }
+
 // WriteChromeTrace serializes the merged trace as Chrome trace-event
 // JSON. Call only after the team has quiesced.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	return r.WriteChromeTraceWith(w, nil)
+}
+
+// WriteChromeTraceWith serializes the merged trace plus caller-provided
+// lifecycle spans on a dedicated track. Call only after the team has
+// quiesced.
+func (r *Recorder) WriteChromeTraceWith(w io.Writer, extra []ExtraSpan) error {
 	if r == nil {
 		return fmt.Errorf("synctrace: no recorder (tracing was not enabled)")
 	}
@@ -45,6 +70,12 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
 			Name: "thread_name", Ph: "M", Pid: 0, Tid: wk,
 			Args: map[string]any{"name": fmt.Sprintf("worker %d", wk)},
+		})
+	}
+	if len(extra) > 0 {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: r.lifecycleTrack(),
+			Args: map[string]any{"name": "lifecycle"},
 		})
 	}
 	if len(r.meta) > 0 {
@@ -80,6 +111,23 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			ce.S = "t"
 		}
 		tr.TraceEvents = append(tr.TraceEvents, ce)
+	}
+	for _, es := range extra {
+		start := es.StartNS
+		if start < 0 {
+			start = 0
+		}
+		dur := float64(es.DurNS) / 1e3
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: es.Name,
+			Cat:  es.Cat,
+			Ph:   "X",
+			Ts:   float64(start) / 1e3,
+			Dur:  &dur,
+			Pid:  0,
+			Tid:  r.lifecycleTrack(),
+			Args: es.Args,
+		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(tr)

@@ -145,6 +145,17 @@ func New(n, perWorkerCap int) *Recorder {
 	return r
 }
 
+// Epoch returns the recorder's construction time — the zero point of
+// every event timestamp (zero time for nil). External layers that merge
+// their own spans into the Chrome export (WriteChromeTraceWith) align to
+// it.
+func (r *Recorder) Epoch() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.epoch
+}
+
 // Workers returns the team size the recorder was built for (0 for nil).
 func (r *Recorder) Workers() int {
 	if r == nil {

@@ -13,9 +13,13 @@
 # overhead guard, the Table H profile-rollup smoke with its
 # BENCH_profile.json envelope validation, the irregular-suite gates
 # (value facts, chaos + sanitizer over inspector-synthesized waits),
-# the Table I inspector/executor smoke refreshing BENCH_irreg.json, and
+# the Table I inspector/executor smoke refreshing BENCH_irreg.json,
 # the feedback-loop gates (-profile-in round trip, barrierc -fdo remark
-# evidence, the Table F no-regression envelope smoke).
+# evidence, the Table F no-regression envelope smoke), and the
+# run-lifecycle telemetry gates (span-tree goldens, the -spans round
+# trip with its phase-sum/wall check, the /healthz + /runs + /spans
+# debug-server smoke, the span overhead guard, and the Table S smoke
+# refreshing BENCH_spans.json).
 # Run from anywhere; operates on the repository containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -38,7 +42,7 @@ echo "== go test -race =="
 go test -race ./...
 
 barrierc="$(mktemp -t barrierc.XXXXXX)"
-trap 'rm -f "$barrierc" "${spmdrun_bin:-}" "${spmdprof_bin:-}" "${trace_tmp:-}" "${bench_tmp:-}" "${pool_tmp:-}" "${profh_tmp:-}"; rm -rf "${prof_dir:-}"' EXIT
+trap 'rm -f "$barrierc" "${spmdrun_bin:-}" "${spmdprof_bin:-}" "${trace_tmp:-}" "${bench_tmp:-}" "${pool_tmp:-}" "${profh_tmp:-}"; rm -rf "${prof_dir:-}" "${span_dir:-}"' EXIT
 go build -o "$barrierc" ./cmd/barrierc
 
 echo "== lint smoke (barrierc -lint) =="
@@ -140,7 +144,10 @@ echo "== irregular suite gates (facts, certify, chaos, inspector) =="
 # actually print, and each kernel must survive adversarial timing with
 # the sanitizer auditing the inspector-synthesized waits while the
 # runtime inspector reports per-site scan statistics.
-go run ./cmd/barrierc -irreg -kernel permcopy | grep -q "permutation" || {
+# Captured first: grep -q exits at first match, and under pipefail the
+# producer's SIGPIPE would intermittently fail an otherwise-passing gate.
+irreg_facts="$(go run ./cmd/barrierc -irreg -kernel permcopy)"
+echo "$irreg_facts" | grep -q "permutation" || {
     echo "ERROR: barrierc -irreg lost the permutation fact on permcopy" >&2
     exit 1
 }
@@ -433,6 +440,120 @@ for k in ("meshsmooth", "spmvcsr"):
 assert p["regressed"] == 0, p
 print("-- Table F envelope valid; saves:",
       ", ".join(f"{k}={rows[k]['save_ns']}ns" for k in rows))
+EOF
+fi
+
+echo "== span-tree goldens (lifecycle tree, Chrome interleaving) =="
+# The jacobi2d span tree and its Perfetto interleaving are pinned
+# artifacts: the tree must match the golden byte for byte, be
+# deterministic across runs, and sum its top-level phases to the wall.
+go test -run 'TestSpanTree|TestChromeExport|TestPhaseDurations|TestExecuteSpanAttrs' \
+    ./internal/telemetry -count=1
+
+echo "== spans round trip (spmdrun -spans -json) =="
+# One observed run: the envelope and the spans file must share a trace
+# id, cover every lifecycle phase, and the top-level phase durations
+# must sum to the envelope wall within 5% (the acceptance bound).
+span_dir="$(mktemp -d -t spmdspans.XXXXXX)"
+"$spmdrun_bin" -kernel jacobi2d -p 4 -param N=64 -param T=4 \
+    -json -spans "$span_dir/spans.json" >"$span_dir/run.json" 2>/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$span_dir/run.json" "$span_dir/spans.json" <<'EOF'
+import json, sys
+run = json.load(open(sys.argv[1])); spans = json.load(open(sys.argv[2]))
+assert run["tool"] == "spmdrun", run["tool"]
+assert spans["schema_version"] == 1 and spans["tool"] == "spmdrun-spans", spans
+p, sp = run["payload"], spans["payload"]
+assert p["trace_id"] and p["trace_id"] == sp["trace_id"], (p.get("trace_id"), sp.get("trace_id"))
+wall = p["wall_ns"]
+assert wall > 0 and wall == sp["wall_ns"], (wall, sp["wall_ns"])
+names = {s["name"] for s in sp["spans"]}
+for phase in ("run", "compile", "execute", "setup", "attempt", "team run", "verify"):
+    assert phase in names, f"missing phase span {phase!r}: {sorted(names)}"
+assert all(s["dur_ns"] >= 0 for s in sp["spans"]), "open span leaked into export"
+tops = sum(s["dur_ns"] for s in sp["spans"] if s.get("parent_id") == 1)
+ratio = tops / wall
+assert 0.95 <= ratio <= 1.05, f"phase sum / wall = {ratio:.3f}, want within 5%"
+print(f"-- trace {p['trace_id']}: {len(sp['spans'])} spans, phase-sum/wall {ratio:.3f}")
+EOF
+fi
+
+echo "== debug server smoke (/healthz, /runs, /spans/<id>, /metrics) =="
+# One-shot spmdrun with a linger window: the debug endpoints must serve
+# a healthy status, the run's trace id (newest first), the span export
+# by id, and the per-site wait families in the Prometheus exposition.
+if command -v python3 >/dev/null 2>&1; then
+    "$spmdrun_bin" -kernel jacobi2d -p 4 -param N=64 -param T=4 \
+        -metrics-addr 127.0.0.1:0 -metrics-linger 30s \
+        >/dev/null 2>"$span_dir/metrics.err" &
+    span_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's#^metrics:  serving http://\([^/]*\)/metrics.*#\1#p' "$span_dir/metrics.err")"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "ERROR: spmdrun -metrics-addr never announced its address" >&2
+        cat "$span_dir/metrics.err" >&2
+        kill "$span_pid" 2>/dev/null || true
+        exit 1
+    fi
+    # The run itself must finish (lingering) before the ring has the run.
+    for _ in $(seq 1 100); do
+        grep -q "lingering" "$span_dir/metrics.err" && break
+        sleep 0.1
+    done
+    python3 - "$addr" <<'EOF'
+import json, sys, urllib.request
+addr = sys.argv[1]
+get = lambda path: urllib.request.urlopen(f"http://{addr}{path}", timeout=5).read()
+h = json.loads(get("/healthz"))
+assert h["status"] == "ok" and h["runs"] >= 1, h
+runs = json.loads(get("/runs?n=1"))
+assert len(runs) == 1 and runs[0]["trace_id"] and runs[0]["outcome"] == "ok", runs
+tid = runs[0]["trace_id"]
+spans = json.loads(get(f"/spans/{tid}"))
+assert spans["tool"] == "spmdrun-spans", spans["tool"]
+assert spans["payload"]["trace_id"] == tid, spans["payload"]["trace_id"]
+prom = get("/metrics").decode()
+assert "spmd_runs_total 1" in prom, prom[:400]
+assert "spmd_site_wait_ns{" in prom, "per-site wait family missing"
+assert "spmd_run_elapsed_ns{" in prom, "run latency quantiles missing"
+print(f"-- /healthz ok; /runs newest trace {tid}; /spans round trip; /metrics has site waits")
+EOF
+    kill "$span_pid" 2>/dev/null || true
+    wait "$span_pid" 2>/dev/null || true
+fi
+
+echo "== span overhead guard =="
+# The span layer's cost envelope, PR-2 style (env-gated, noise-floored,
+# one re-measure at double depth before a row may judge regressed):
+# spans-on must stay within 2% of spans-off whole-request walls.
+OVERHEAD_GUARD=1 go test -run TestSpanOverheadGuard \
+    ./internal/suite -count=1 -v
+
+echo "== benchtab Table S smoke (BENCH_spans.json) =="
+# Table S must build, refresh the committed BENCH_spans.json artifact,
+# and report zero rows regressed beyond the 2% overhead envelope.
+go run ./cmd/benchtab -table S -p 4 -out BENCH_spans.json | tail -n 3
+if command -v python3 >/dev/null 2>&1; then
+    python3 - BENCH_spans.json <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema_version"] == 1, d
+assert d["tool"] == "benchtab-spans", d
+p = d["payload"]
+assert p["threshold_pct"] == 2.0, p["threshold_pct"]
+rows = {r["kernel"]: r for r in p["rows"]}
+for k in ("jacobi2d", "dotchain", "tred2like"):
+    assert k in rows, f"{k} missing from BENCH_spans.json"
+    r = rows[k]
+    assert r["off_ns"] > 0 and r["on_ns"] > 0 and r["spans"] >= 8, r
+    assert not r["regressed"], f"{k}: span overhead {r['overhead_pct']:.2f}% regressed"
+assert p["regressions"] == 0, p["regressions"]
+print("-- BENCH_spans.json valid; overhead:",
+      ", ".join(f"{k}={rows[k]['overhead_pct']:.2f}%" for k in rows))
 EOF
 fi
 
